@@ -1,0 +1,93 @@
+// Command fhc-experiments regenerates the paper's tables and figures plus
+// this repository's ablations on a synthetic corpus.
+//
+// Usage:
+//
+//	fhc-experiments [-scale small|medium|paper] [-seed N] [-only LIST]
+//
+// -only selects a comma-separated subset of
+// table1,table2,table3,table4,table5,figure2,figure3,a1,a2,a3,a4,a5,a6,
+// confusion; the default runs everything. Output is plain text shaped
+// like the paper's presentation; EXPERIMENTS.md records a full
+// paper-scale run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "medium", "corpus scale: small, medium or paper")
+	seed := flag.Uint64("seed", experiments.DefaultSeed, "corpus and training seed")
+	only := flag.String("only", "", "comma-separated experiments to run (default all)")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	start := time.Now()
+	fmt.Printf("== Fuzzy Hash Classifier experiments (scale=%s seed=%d) ==\n", scale, *seed)
+	p, err := experiments.Run(scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pipeline: %d samples, %d train / %d test (%d unknown), %d known classes, threshold %.2f [%s]\n\n",
+		len(p.Samples), len(p.Train), len(p.Test), p.Split.NumUnknownTest(p.Samples),
+		len(p.Split.KnownClasses), p.Classifier.Threshold(), time.Since(start).Round(time.Millisecond))
+
+	type experiment struct {
+		name string
+		run  func() (interface{ Format() string }, error)
+	}
+	exps := []experiment{
+		{"table1", func() (interface{ Format() string }, error) { return experiments.RunTable1(p) }},
+		{"table2", func() (interface{ Format() string }, error) { return experiments.RunTable2(p) }},
+		{"table3", func() (interface{ Format() string }, error) { return experiments.RunTable3(p) }},
+		{"table4", func() (interface{ Format() string }, error) { return experiments.RunTable4(p) }},
+		{"table5", func() (interface{ Format() string }, error) { return experiments.RunTable5(p) }},
+		{"figure2", func() (interface{ Format() string }, error) { return experiments.RunFigure2(p) }},
+		{"figure3", func() (interface{ Format() string }, error) { return experiments.RunFigure3(p) }},
+		{"a1", func() (interface{ Format() string }, error) { return experiments.RunAblationEditDistance(p) }},
+		{"a2", func() (interface{ Format() string }, error) { return experiments.RunAblationNeededLibs(p) }},
+		{"a3", func() (interface{ Format() string }, error) { return experiments.RunAblationModels(p) }},
+		{"a4", func() (interface{ Format() string }, error) { return experiments.RunAblationStripped(p) }},
+		{"a5", func() (interface{ Format() string }, error) { return experiments.RunAblationDynamic(p) }},
+		{"a6", func() (interface{ Format() string }, error) {
+			return experiments.RunSeedSensitivity(scale, []uint64{*seed, *seed + 1, *seed + 2})
+		}},
+		{"confusion", func() (interface{ Format() string }, error) { return experiments.RunConfusionPairs(p, 12) }},
+	}
+	for _, e := range exps {
+		if !want(e.name) {
+			continue
+		}
+		t0 := time.Now()
+		result, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			continue
+		}
+		fmt.Printf("---- %s [%s] ----\n%s\n", e.name, time.Since(t0).Round(time.Millisecond), result.Format())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fhc-experiments:", err)
+	os.Exit(1)
+}

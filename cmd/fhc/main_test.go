@@ -1,0 +1,282 @@
+package main
+
+// CLI tests drive the subcommand functions directly against temporary
+// corpora, covering the full workflow the README documents.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// withStdout captures os.Stdout during fn.
+func withStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+// makeTree writes a small labelled corpus and returns its directory and
+// one binary path.
+func makeTree(t *testing.T) (dir, binary string) {
+	t.Helper()
+	dir = t.TempDir()
+	corpus, err := synth.Generate([]synth.ClassSpec{
+		{Name: "AppOne", Samples: 6},
+		{Name: "AppTwo", Samples: 6},
+		{Name: "AppThree", Samples: 6},
+	}, synth.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := corpus.WriteTree(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir, filepath.Join(dir, corpus.Samples[0].Path())
+}
+
+func TestCmdCorpusAndScan(t *testing.T) {
+	dir := t.TempDir()
+	out, err := withStdout(t, func() error {
+		return cmdCorpus([]string{"-out", dir, "-scale", "small", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatalf("corpus: %v", err)
+	}
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("corpus output: %q", out)
+	}
+	scanOut, err := withStdout(t, func() error {
+		return cmdScan([]string{dir})
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(strings.Split(strings.TrimSpace(scanOut), "\n")) < 10 {
+		t.Fatalf("scan produced too few lines:\n%s", scanOut)
+	}
+}
+
+func TestCmdCorpusValidation(t *testing.T) {
+	if err := cmdCorpus([]string{"-scale", "small"}); err == nil {
+		t.Error("corpus without -out accepted")
+	}
+	if err := cmdCorpus([]string{"-out", t.TempDir(), "-scale", "gigantic"}); err == nil {
+		t.Error("corpus with bogus scale accepted")
+	}
+}
+
+func TestCmdTrainClassifyReport(t *testing.T) {
+	dir, binary := makeTree(t)
+	model := filepath.Join(t.TempDir(), "model.json")
+
+	out, err := withStdout(t, func() error {
+		return cmdTrain([]string{"-corpus", dir, "-model", model, "-threshold", "0.3", "-trees", "40"})
+	})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if !strings.Contains(out, "trained on") {
+		t.Fatalf("train output: %q", out)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("model file missing: %v", err)
+	}
+
+	out, err = withStdout(t, func() error {
+		return cmdClassify([]string{"-model", model, binary})
+	})
+	if err != nil {
+		t.Fatalf("classify: %v", err)
+	}
+	if !strings.Contains(out, "AppOne") {
+		t.Fatalf("classify output: %q", out)
+	}
+
+	out, err = withStdout(t, func() error {
+		return cmdReport([]string{"-corpus", dir, "-model", model})
+	})
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	for _, want := range []string{"micro avg", "AppTwo"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdTrainValidation(t *testing.T) {
+	if err := cmdTrain([]string{"-model", "x"}); err == nil {
+		t.Error("train without corpus accepted")
+	}
+	if err := cmdTrain([]string{"-corpus", t.TempDir(), "-model", filepath.Join(t.TempDir(), "m")}); err == nil {
+		t.Error("train on empty corpus accepted")
+	}
+	if err := cmdTrain([]string{"-corpus", "a", "-samples", "b", "-model", "m"}); err == nil {
+		t.Error("train with both -corpus and -samples accepted")
+	}
+}
+
+func TestCmdScanJSONAndTrainFromSamples(t *testing.T) {
+	dir, _ := makeTree(t)
+	jsonPath := filepath.Join(t.TempDir(), "samples.jsonl")
+	if _, err := withStdout(t, func() error {
+		return cmdScan([]string{"-json", jsonPath, dir})
+	}); err != nil {
+		t.Fatalf("scan -json: %v", err)
+	}
+	if st, err := os.Stat(jsonPath); err != nil || st.Size() == 0 {
+		t.Fatalf("feature file missing/empty: %v", err)
+	}
+	model := filepath.Join(t.TempDir(), "model.json")
+	out, err := withStdout(t, func() error {
+		return cmdTrain([]string{"-samples", jsonPath, "-model", model, "-threshold", "0.3", "-trees", "30"})
+	})
+	if err != nil {
+		t.Fatalf("train -samples: %v", err)
+	}
+	if !strings.Contains(out, "trained on") {
+		t.Fatalf("train output: %q", out)
+	}
+	// The cached-features model must classify like the tree-trained one.
+	rep, err := withStdout(t, func() error {
+		return cmdReport([]string{"-corpus", dir, "-model", model, "-format", "csv"})
+	})
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if !strings.Contains(rep, `"micro avg"`) {
+		t.Fatalf("csv report:\n%s", rep)
+	}
+}
+
+func TestCmdClassifyValidation(t *testing.T) {
+	if err := cmdClassify([]string{"-model", "/nonexistent/model"}); err == nil {
+		t.Error("classify without binaries accepted")
+	}
+	if err := cmdClassify([]string{"-model", "/nonexistent/model", "some-binary"}); err == nil {
+		t.Error("classify with missing model accepted")
+	}
+}
+
+func TestCmdHashCompare(t *testing.T) {
+	dir, binary := makeTree(t)
+	out, err := withStdout(t, func() error { return cmdHash([]string{binary}) })
+	if err != nil {
+		t.Fatalf("hash: %v", err)
+	}
+	for _, want := range []string{"ssdeep-file", "ssdeep-symbols", "sha256"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("hash output missing %q:\n%s", want, out)
+		}
+	}
+	// Compare the binary with a sibling.
+	var other string
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && path != binary && other == "" {
+			other = path
+		}
+		return err
+	})
+	if err != nil || other == "" {
+		t.Fatalf("no sibling binary found: %v", err)
+	}
+	out, err = withStdout(t, func() error { return cmdCompare([]string{binary, other}) })
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	if !strings.Contains(out, "ssdeep-symbols") {
+		t.Fatalf("compare output:\n%s", out)
+	}
+	if err := cmdCompare([]string{binary}); err == nil {
+		t.Error("compare with one file accepted")
+	}
+	if err := cmdCompare([]string{"-distance", "bogus", binary, other}); err == nil {
+		t.Error("compare with bogus distance accepted")
+	}
+}
+
+func TestCmdViews(t *testing.T) {
+	_, binary := makeTree(t)
+	out, err := withStdout(t, func() error { return cmdNM([]string{binary}) })
+	if err != nil {
+		t.Fatalf("nm: %v", err)
+	}
+	if !strings.Contains(out, "T ") {
+		t.Fatalf("nm output has no text symbols:\n%.300s", out)
+	}
+	out, err = withStdout(t, func() error { return cmdStrings([]string{binary}) })
+	if err != nil {
+		t.Fatalf("strings: %v", err)
+	}
+	if len(out) < 100 {
+		t.Fatalf("strings output too short: %d bytes", len(out))
+	}
+	out, err = withStdout(t, func() error { return cmdLDD([]string{binary}) })
+	if err != nil {
+		t.Fatalf("ldd: %v", err)
+	}
+	if !strings.Contains(out, ".so") {
+		t.Fatalf("ldd output: %q", out)
+	}
+}
+
+func TestCmdDups(t *testing.T) {
+	// Two classes sharing one genome: guaranteed cross-class duplicates.
+	dir := t.TempDir()
+	corpus, err := synth.Generate([]synth.ClassSpec{
+		{Name: "ToolA", Genome: "shared", Samples: 4},
+		{Name: "ToolB", Genome: "shared", Samples: 4, VersionOffset: 1},
+		{Name: "Other", Samples: 4},
+	}, synth.Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := corpus.WriteTree(dir); err != nil {
+		t.Fatal(err)
+	}
+	out, err := withStdout(t, func() error {
+		return cmdDups([]string{"-min", "50", dir})
+	})
+	if err != nil {
+		t.Fatalf("dups: %v", err)
+	}
+	if !strings.Contains(out, "CROSS-CLASS") {
+		t.Fatalf("dups did not find the shared-genome pair:\n%s", out)
+	}
+	if strings.Contains(out, "Other") {
+		t.Fatalf("dups flagged the unrelated class:\n%s", out)
+	}
+	if err := cmdDups([]string{"-feature", "bogus", dir}); err == nil {
+		t.Error("dups with bogus feature accepted")
+	}
+}
+
+func TestCommandsRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, c := range commands() {
+		names[c.name] = true
+	}
+	for _, want := range []string{"corpus", "hash", "compare", "strings", "nm", "ldd", "scan", "train", "classify", "report", "dups"} {
+		if !names[want] {
+			t.Errorf("command %q not registered", want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Threshold tuning: recreates the paper's Figure 3 trade-off on a small
+// corpus. The confidence threshold decides when a prediction is demoted
+// to "-1" (unknown): raising it catches more foreign software but starts
+// rejecting legitimate known-class samples — precision and recall of the
+// unknown class move in opposite directions, and the macro f1 of the
+// known classes decays.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fhc "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("threshold-tuning: ")
+
+	specs := []fhc.ClassSpec{
+		{Name: "AstroSim", Samples: 14},
+		{Name: "BioPipeline", Samples: 14},
+		{Name: "LatticeQCD", Samples: 14},
+		{Name: "WeatherModel", Samples: 14},
+		{Name: "SideLoaded", Samples: 10, Unknown: true},
+	}
+	corpus, err := fhc.GenerateCorpus(specs, fhc.CorpusOptions{Seed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, err := fhc.SamplesFromCorpus(corpus, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	split, err := fhc.SplitTwoPhase(samples, fhc.SplitOptions{Mode: fhc.PaperSplit, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var train, test []fhc.Sample
+	for _, i := range split.TrainIdx {
+		train = append(train, samples[i])
+	}
+	for _, i := range split.TestIdx {
+		test = append(test, samples[i])
+	}
+
+	clf, err := fhc.Train(train, fhc.Config{Threshold: 0.3, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("threshold sweep on the held-out test set:")
+	fmt.Printf("%-10s %8s %8s %10s %12s %12s\n",
+		"threshold", "micro", "macro", "weighted", "unknown-P", "unknown-R")
+	for th := 0.0; th <= 0.91; th += 0.1 {
+		clf.SetThreshold(th)
+		report, err := clf.Evaluate(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		u := report.PerClass[fhc.UnknownLabel]
+		fmt.Printf("%-10.2f %8.3f %8.3f %10.3f %12.3f %12.3f\n",
+			th, report.Micro.F1, report.Macro.F1, report.Weighted.F1, u.Precision, u.Recall)
+	}
+
+	fmt.Println(`
+Reading the sweep (the paper's Figure 3 and §5 "Confidence Threshold"):
+  - at low thresholds nothing is rejected: unknown recall is 0 and foreign
+    software silently inherits known labels;
+  - as the threshold rises, unknown recall climbs while known classes
+    start losing samples to "-1", dragging the macro f1 down;
+  - a site that must catch every unauthorised binary can run a stricter
+    threshold than the tuned optimum, paying with manual review load.`)
+}

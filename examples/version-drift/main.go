@@ -1,0 +1,62 @@
+// Version drift: why cryptographic hashes fail at application tracking
+// and similarity-preserving fuzzy hashes do not (the paper's §1/§2
+// motivation). The example evolves one application through releases and
+// compares every version against the first with SHA-256 and with SSDeep
+// digests of the three feature views.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	fhc "repro"
+	"repro/ssdeep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("version-drift: ")
+
+	// One application, one executable, many releases.
+	corpus, err := fhc.GenerateCorpus([]fhc.ClassSpec{
+		{Name: "OpenMalaria", Samples: 8},
+	}, fhc.CorpusOptions{Seed: 46})
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, err := fhc.SamplesFromCorpus(corpus, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Version < samples[j].Version })
+
+	base := samples[0]
+	fmt.Printf("baseline: %s\n\n", base.Path())
+	fmt.Printf("%-28s %-8s %6s %8s %8s\n", "version", "sha256", "file", "strings", "symbols")
+	for _, s := range samples {
+		exact := "MISS"
+		if s.SHA256 == base.SHA256 {
+			exact = "match"
+		}
+		fmt.Printf("%-28s %-8s %6d %8d %8d\n",
+			s.Version,
+			exact,
+			ssdeep.Compare(base.Digests[fhc.FeatureFile], s.Digests[fhc.FeatureFile]),
+			ssdeep.Compare(base.Digests[fhc.FeatureStrings], s.Digests[fhc.FeatureStrings]),
+			ssdeep.Compare(base.Digests[fhc.FeatureSymbols], s.Digests[fhc.FeatureSymbols]),
+		)
+	}
+
+	fmt.Println(`
+Reading the table:
+  - sha256 matches only the identical binary: every new release is a MISS,
+    so exact hashing cannot track an application across versions.
+  - the ssdeep-symbols similarity stays high across releases because
+    function names are the most stable feature of an evolving code base;
+  - ssdeep-strings degrades with wording changes and recompiles;
+  - ssdeep-file degrades fastest, since every rebuild reshuffles code.
+This stability ladder is exactly the paper's Table 5 feature-importance
+ordering, and it is why the Fuzzy Hash Classifier can label versions it
+has never seen.`)
+}

@@ -1,0 +1,244 @@
+// Package fhc is the public API of the Fuzzy Hash Classifier, a
+// reproduction of "Using Malware Detection Techniques for HPC Application
+// Classification" (Jakobsche & Ciorba, SC 2024).
+//
+// The classifier labels HPC application executables by application class
+// using similarity-preserving fuzzy hashes (package repro/ssdeep) of three
+// views of each binary — the raw file bytes, its strings(1) output and its
+// nm(1) global symbols — fed into a Random Forest with balanced class
+// weights. Samples whose prediction confidence falls below a tuned
+// threshold are labelled "-1" (unknown), the signal for software deviating
+// from allocation purpose.
+//
+// # Quick start
+//
+//	samples, _ := fhc.ScanTree("/apps", 0)            // label by install path
+//	clf, _ := fhc.Train(samples, fhc.Config{Seed: 1}) // tune + fit
+//	pred := clf.Classify(&incoming)                   // label a new binary
+//	if pred.Label == fhc.UnknownLabel { ... }         // flag for review
+//
+// The runnable programs under examples/ walk through the full workflow,
+// and cmd/fhc exposes it as a command-line tool. Everything is pure Go on
+// the standard library; no cgo, no network, no external binaries.
+package fhc
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/monitor"
+	"repro/internal/rf"
+	"repro/internal/synth"
+)
+
+// Re-exported core types. The type aliases keep one canonical definition
+// while giving users a single import.
+type (
+	// Sample is a labelled executable reduced to its fuzzy-hash features.
+	Sample = dataset.Sample
+	// FeatureKind enumerates the fuzzy-hash features of a sample.
+	FeatureKind = dataset.FeatureKind
+	// Classifier is a trained Fuzzy Hash Classifier.
+	Classifier = core.Classifier
+	// Config configures training.
+	Config = core.Config
+	// Grid is the hyper-parameter search space for training-time tuning.
+	Grid = core.Grid
+	// Prediction is the classifier's answer for one sample.
+	Prediction = core.Prediction
+	// ThresholdScore is one point of the confidence-threshold sweep.
+	ThresholdScore = core.ThresholdScore
+	// ForestParams are the Random Forest hyper-parameters.
+	ForestParams = rf.Params
+	// Report is a multi-class classification report.
+	Report = ml.Report
+	// ClassMetrics holds per-class precision/recall/f1/support.
+	ClassMetrics = ml.ClassMetrics
+	// Split is a two-phase train/test split.
+	Split = ml.Split
+	// SplitOptions configures SplitTwoPhase.
+	SplitOptions = ml.SplitOptions
+	// ClassSpec declares one synthetic application class.
+	ClassSpec = synth.ClassSpec
+	// CorpusOptions configures synthetic corpus generation.
+	CorpusOptions = synth.Options
+	// Corpus is a generated set of synthetic application executables.
+	Corpus = synth.Corpus
+	// MutationRates parameterises synthetic version evolution.
+	MutationRates = synth.MutationRates
+	// Monitor labels job submissions and applies allocation policy — the
+	// decision-support layer of the paper's Figure 1 workflow.
+	Monitor = monitor.Monitor
+	// MonitorPolicy declares allocation purposes and blocklisted classes.
+	MonitorPolicy = monitor.Policy
+	// JobEvent is one observed job submission.
+	JobEvent = monitor.Event
+	// Finding is one policy observation about a job.
+	Finding = monitor.Finding
+	// FindingKind classifies a policy finding.
+	FindingKind = monitor.FindingKind
+	// Collector deduplicates and extracts job executables (the paper's
+	// Slurm-prolog collection mechanism).
+	Collector = collector.Collector
+	// CollectorOptions configures a Collector.
+	CollectorOptions = collector.Options
+	// CollectorStats counts collector activity.
+	CollectorStats = collector.Stats
+)
+
+// UnknownLabel is the class label of samples that resemble no known
+// application class (the paper's "-1").
+const UnknownLabel = core.UnknownLabel
+
+// Feature kinds, in the order the paper introduces them.
+const (
+	FeatureFile    = dataset.FeatureFile
+	FeatureStrings = dataset.FeatureStrings
+	FeatureSymbols = dataset.FeatureSymbols
+	FeatureNeeded  = dataset.FeatureNeeded
+)
+
+// Split modes for SplitTwoPhase.
+const (
+	// PaperSplit assigns unknown classes from the samples' markers.
+	PaperSplit = ml.PaperSplit
+	// RandomSplit draws unknown classes randomly (the paper's 80/20).
+	RandomSplit = ml.RandomSplit
+)
+
+// Finding kinds, one per guiding question of the paper plus the
+// blocklist hit.
+const (
+	// UnknownApplication: the executable resembles no known class.
+	UnknownApplication = monitor.UnknownApplication
+	// PurposeDeviation: the class is outside the allocation's purpose.
+	PurposeDeviation = monitor.PurposeDeviation
+	// NewUserBehaviour: the user never ran this class before.
+	NewUserBehaviour = monitor.NewUserBehaviour
+	// BlockedApplication: the class is blocklisted.
+	BlockedApplication = monitor.BlockedApplication
+)
+
+// NewMonitor builds a job monitor over a trained classifier and a policy.
+func NewMonitor(clf *Classifier, policy MonitorPolicy) *Monitor {
+	return monitor.New(clf, policy)
+}
+
+// NewCollector builds an executable collector with an exact-hash
+// deduplication cache: repeated executions of the same binary (the common
+// case, per the paper) skip feature extraction.
+func NewCollector(opt CollectorOptions) *Collector {
+	return collector.New(opt)
+}
+
+// Train fits a Fuzzy Hash Classifier on labelled training samples. With a
+// zero Config.Threshold the confidence threshold is tuned on an inner
+// split of the training set, as the paper does.
+func Train(samples []Sample, cfg Config) (*Classifier, error) {
+	return core.Train(samples, cfg)
+}
+
+// Load reads a classifier previously stored with Classifier.Save.
+func Load(r io.Reader) (*Classifier, error) {
+	return core.Load(r)
+}
+
+// LoadFile reads a classifier from a model file.
+func LoadFile(path string) (*Classifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fhc: %w", err)
+	}
+	defer f.Close()
+	return core.Load(f)
+}
+
+// SampleFromBinary extracts all features from an in-memory ELF binary.
+func SampleFromBinary(class, version, exe string, bin []byte) (Sample, error) {
+	return dataset.FromBinary(class, version, exe, bin)
+}
+
+// SampleFromFile extracts all features from an ELF executable on disk.
+// The labels are free-form; for unlabelled production binaries pass
+// placeholders.
+func SampleFromFile(class, version, exe, path string) (Sample, error) {
+	bin, err := os.ReadFile(path)
+	if err != nil {
+		return Sample{}, fmt.Errorf("fhc: %w", err)
+	}
+	return dataset.FromBinary(class, version, exe, bin)
+}
+
+// ScanTree loads labelled samples from an install tree laid out as
+// root/Class/Version/executable, the structure the paper scrapes.
+// workers <= 0 selects GOMAXPROCS.
+func ScanTree(root string, workers int) ([]Sample, error) {
+	return dataset.Scan(root, workers)
+}
+
+// SplitTwoPhase performs the paper's evaluation split: classes 80/20 into
+// known/unknown, then a stratified 60/40 sample split within known
+// classes.
+func SplitTwoPhase(samples []Sample, opt SplitOptions) (Split, error) {
+	return ml.SplitTwoPhase(samples, opt)
+}
+
+// StratifiedKFold partitions sample indices into k class-balanced folds
+// for cross-validation.
+func StratifiedKFold(samples []Sample, k int, seed uint64) ([][]int, error) {
+	return ml.StratifiedKFold(samples, k, seed)
+}
+
+// SaveSamples writes extracted samples as JSON lines — digests and labels
+// only, never binary content.
+func SaveSamples(w io.Writer, samples []Sample) error {
+	return dataset.SaveSamples(w, samples)
+}
+
+// LoadSamples reads samples written by SaveSamples.
+func LoadSamples(r io.Reader) ([]Sample, error) {
+	return dataset.LoadSamples(r)
+}
+
+// ClassificationReport scores predictions against true labels with the
+// paper's metrics (per-class precision/recall/f1 plus micro, macro and
+// weighted averages).
+func ClassificationReport(yTrue, yPred []string) (*Report, error) {
+	return ml.ClassificationReport(yTrue, yPred)
+}
+
+// GenerateCorpus builds a synthetic corpus of ELF application executables
+// following the given class manifest. It substitutes for the paper's
+// private cluster dataset; see DESIGN.md for the substitution argument.
+func GenerateCorpus(specs []ClassSpec, opt CorpusOptions) (*Corpus, error) {
+	return synth.Generate(specs, opt)
+}
+
+// SamplesFromCorpus extracts features from a generated corpus in parallel.
+func SamplesFromCorpus(c *Corpus, workers int) ([]Sample, error) {
+	return dataset.FromCorpus(c, workers)
+}
+
+// PaperManifest returns the 92-class corpus manifest reconstructed from
+// the paper's Tables 3 and 4.
+func PaperManifest() []ClassSpec {
+	return synth.PaperManifest()
+}
+
+// SmallManifest returns a reduced manifest: the first nKnown known and
+// nUnknown unknown paper classes, capped at maxSamples per class
+// (0 keeps the paper sizes).
+func SmallManifest(nKnown, nUnknown, maxSamples int) []ClassSpec {
+	return synth.SmallManifest(nKnown, nUnknown, maxSamples)
+}
+
+// DefaultGrid returns the hyper-parameter grid used for the paper-scale
+// experiments.
+func DefaultGrid() *Grid {
+	return core.DefaultGrid()
+}

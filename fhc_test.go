@@ -1,0 +1,158 @@
+package fhc
+
+// Integration tests exercising the public API end to end, the way the
+// examples and a downstream user would.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildDemoSamples generates a small corpus through the public API.
+func buildDemoSamples(t *testing.T) []Sample {
+	t.Helper()
+	specs := []ClassSpec{
+		{Name: "GenomeAsm", Samples: 10},
+		{Name: "FluidSolver", Samples: 10},
+		{Name: "ChemKit", Samples: 10},
+		{Name: "Miner", Samples: 6, Unknown: true},
+	}
+	corpus, err := GenerateCorpus(specs, CorpusOptions{Seed: 11})
+	if err != nil {
+		t.Fatalf("GenerateCorpus: %v", err)
+	}
+	samples, err := SamplesFromCorpus(corpus, 0)
+	if err != nil {
+		t.Fatalf("SamplesFromCorpus: %v", err)
+	}
+	return samples
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	samples := buildDemoSamples(t)
+	split, err := SplitTwoPhase(samples, SplitOptions{Mode: PaperSplit, Seed: 3})
+	if err != nil {
+		t.Fatalf("SplitTwoPhase: %v", err)
+	}
+	var train, test []Sample
+	for _, i := range split.TrainIdx {
+		train = append(train, samples[i])
+	}
+	for _, i := range split.TestIdx {
+		test = append(test, samples[i])
+	}
+	clf, err := Train(train, Config{Threshold: 0.35, Seed: 1})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	report, err := clf.Evaluate(test)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if report.Accuracy < 0.6 {
+		t.Fatalf("end-to-end accuracy %.3f too low\n%s", report.Accuracy, report.Format())
+	}
+	// Model round trip through the public API.
+	var buf bytes.Buffer
+	if err := clf.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for i := range test {
+		if a, b := clf.Classify(&test[i]), loaded.Classify(&test[i]); a.Label != b.Label {
+			t.Fatalf("prediction changed after save/load at %d", i)
+		}
+	}
+}
+
+func TestPublicAPIFileWorkflow(t *testing.T) {
+	// Write a corpus tree, scan it back, classify a file loaded from disk.
+	specs := []ClassSpec{
+		{Name: "AppX", Samples: 8},
+		{Name: "AppY", Samples: 8},
+	}
+	corpus, err := GenerateCorpus(specs, CorpusOptions{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := corpus.WriteTree(dir); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ScanTree(dir, 0)
+	if err != nil {
+		t.Fatalf("ScanTree: %v", err)
+	}
+	if len(samples) != len(corpus.Samples) {
+		t.Fatalf("scanned %d samples, want %d", len(samples), len(corpus.Samples))
+	}
+	clf, err := Train(samples, Config{Threshold: 0.3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classify one binary through the file-based entry point.
+	s := corpus.Samples[0]
+	path := filepath.Join(dir, s.Path())
+	probe, err := SampleFromFile("", "", s.Exe, path)
+	if err != nil {
+		t.Fatalf("SampleFromFile: %v", err)
+	}
+	pred := clf.Classify(&probe)
+	if pred.Label != s.Class {
+		t.Fatalf("training binary classified as %q (conf %.2f), want %q", pred.Label, pred.Confidence, s.Class)
+	}
+	// Save to a file and reload through LoadFile.
+	modelPath := filepath.Join(dir, "model.json")
+	f, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(modelPath)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if got := loaded.Classify(&probe); got.Label != s.Class {
+		t.Fatalf("reloaded model classified %q, want %q", got.Label, s.Class)
+	}
+}
+
+func TestPaperManifestExported(t *testing.T) {
+	specs := PaperManifest()
+	if len(specs) != 92 {
+		t.Fatalf("PaperManifest has %d classes, want 92", len(specs))
+	}
+	small := SmallManifest(5, 2, 10)
+	if len(small) != 7 {
+		t.Fatalf("SmallManifest has %d classes, want 7", len(small))
+	}
+	if DefaultGrid() == nil {
+		t.Fatal("DefaultGrid returned nil")
+	}
+}
+
+func TestClassificationReportExported(t *testing.T) {
+	r, err := ClassificationReport([]string{"a", "b"}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy != 1 {
+		t.Fatalf("accuracy = %v", r.Accuracy)
+	}
+}
+
+func TestSampleFromBinaryRejectsJunk(t *testing.T) {
+	if _, err := SampleFromBinary("c", "v", "x", []byte("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+}

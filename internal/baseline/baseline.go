@@ -1,0 +1,83 @@
+// Package baseline implements the two classification baselines the paper
+// positions itself against: exact matching by cryptographic hash (which
+// "can only be used to find exact matches", §1) and matching by executable
+// name (which users "can easily and arbitrarily change", §1).
+package baseline
+
+import (
+	"crypto/sha256"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+)
+
+// CryptoClassifier labels a sample by exact SHA-256 match against the
+// training set, the approach of Yamamoto et al. that the paper extends.
+type CryptoClassifier struct {
+	byHash map[[sha256.Size]byte]string
+}
+
+// TrainCrypto indexes the training samples by cryptographic hash.
+func TrainCrypto(samples []dataset.Sample) *CryptoClassifier {
+	c := &CryptoClassifier{byHash: make(map[[sha256.Size]byte]string, len(samples))}
+	for i := range samples {
+		c.byHash[samples[i].SHA256] = samples[i].Class
+	}
+	return c
+}
+
+// Classify returns the class of an exactly matching training binary, or
+// the unknown label: cryptographic hashes cannot generalise across
+// versions.
+func (c *CryptoClassifier) Classify(s *dataset.Sample) string {
+	if class, ok := c.byHash[s.SHA256]; ok {
+		return class
+	}
+	return ml.UnknownLabel
+}
+
+// NameClassifier labels a sample by its executable file name, the
+// job-name/executable-name heuristic the paper calls unreliable.
+type NameClassifier struct {
+	byName map[string]string
+}
+
+// TrainName indexes training samples by executable name, resolving name
+// collisions by majority class (ties broken alphabetically for
+// determinism).
+func TrainName(samples []dataset.Sample) *NameClassifier {
+	votes := map[string]map[string]int{}
+	for i := range samples {
+		s := &samples[i]
+		if votes[s.Exe] == nil {
+			votes[s.Exe] = map[string]int{}
+		}
+		votes[s.Exe][s.Class]++
+	}
+	c := &NameClassifier{byName: make(map[string]string, len(votes))}
+	for exe, classVotes := range votes {
+		classes := make([]string, 0, len(classVotes))
+		for class := range classVotes {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		best, bestN := "", -1
+		for _, class := range classes {
+			if classVotes[class] > bestN {
+				best, bestN = class, classVotes[class]
+			}
+		}
+		c.byName[exe] = best
+	}
+	return c
+}
+
+// Classify returns the majority class of the sample's executable name, or
+// the unknown label for unseen names.
+func (c *NameClassifier) Classify(s *dataset.Sample) string {
+	if class, ok := c.byName[s.Exe]; ok {
+		return class
+	}
+	return ml.UnknownLabel
+}

@@ -1,0 +1,83 @@
+package baseline
+
+import (
+	"crypto/sha256"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+)
+
+func sample(class, exe string, content byte) dataset.Sample {
+	return dataset.Sample{
+		Class:  class,
+		Exe:    exe,
+		SHA256: sha256.Sum256([]byte{content}),
+	}
+}
+
+func TestCryptoExactMatch(t *testing.T) {
+	train := []dataset.Sample{
+		sample("Velvet", "velvetg", 1),
+		sample("Velvet", "velveth", 2),
+		sample("BWA", "bwa", 3),
+	}
+	c := TrainCrypto(train)
+	// Identical binary: recognised.
+	probe := sample("ignored", "whatever", 1)
+	if got := c.Classify(&probe); got != "Velvet" {
+		t.Fatalf("exact match classified as %q, want Velvet", got)
+	}
+	// Modified binary (new version): NOT recognised — the paper's core
+	// argument for fuzzy hashing.
+	probe = sample("ignored", "velvetg", 99)
+	if got := c.Classify(&probe); got != ml.UnknownLabel {
+		t.Fatalf("new version classified as %q, want %s", got, ml.UnknownLabel)
+	}
+}
+
+func TestNameMatch(t *testing.T) {
+	train := []dataset.Sample{
+		sample("Velvet", "velvetg", 1),
+		sample("Velvet", "velvetg", 2),
+		sample("BWA", "bwa", 3),
+	}
+	c := TrainName(train)
+	probe := sample("x", "velvetg", 99)
+	if got := c.Classify(&probe); got != "Velvet" {
+		t.Fatalf("name match = %q, want Velvet", got)
+	}
+	probe = sample("x", "a.out", 4)
+	if got := c.Classify(&probe); got != ml.UnknownLabel {
+		t.Fatalf("unseen name = %q, want %s", got, ml.UnknownLabel)
+	}
+}
+
+func TestNameMajorityVote(t *testing.T) {
+	// The same executable name used by two classes: majority wins, which
+	// is exactly why the paper calls names unreliable.
+	train := []dataset.Sample{
+		sample("AppA", "a.out", 1),
+		sample("AppA", "a.out", 2),
+		sample("AppB", "a.out", 3),
+	}
+	c := TrainName(train)
+	probe := sample("x", "a.out", 9)
+	if got := c.Classify(&probe); got != "AppA" {
+		t.Fatalf("majority vote = %q, want AppA", got)
+	}
+}
+
+func TestNameTieBreaksDeterministically(t *testing.T) {
+	train := []dataset.Sample{
+		sample("Zeta", "tool", 1),
+		sample("Alpha", "tool", 2),
+	}
+	for i := 0; i < 10; i++ {
+		c := TrainName(train)
+		probe := sample("x", "tool", 9)
+		if got := c.Classify(&probe); got != "Alpha" {
+			t.Fatalf("tie broke to %q, want Alpha (alphabetical)", got)
+		}
+	}
+}

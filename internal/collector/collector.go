@@ -1,0 +1,124 @@
+// Package collector implements the paper's envisioned data-collection
+// mechanism: a scheduler prolog hook (the paper points at Yamamoto et
+// al.'s Slurm prolog approach) that captures the executable of every job
+// submission. Because "users frequently execute jobs by changing the
+// input data and not the application executable" (§1), the collector
+// first matches the binary's cryptographic hash against everything seen
+// before; only genuinely new binaries pay for feature extraction. The
+// paper's fuzzy classification then runs exclusively on the novel
+// executables.
+package collector
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// Stats counts collector activity.
+type Stats struct {
+	// Seen is the number of Collect calls.
+	Seen int
+	// Unique is the number of distinct binaries extracted.
+	Unique int
+	// CacheHits counts repeated executions recognised by exact hash.
+	CacheHits int
+	// Evicted counts cache entries dropped to respect MaxEntries.
+	Evicted int
+}
+
+// Options configures a Collector.
+type Options struct {
+	// MaxEntries bounds the extraction cache; 0 means unbounded. When
+	// full, the oldest entry is evicted (collection daemons run for
+	// months).
+	MaxEntries int
+	// Workers bounds... extraction is per-call synchronous; concurrency
+	// comes from callers. Reserved for future use.
+	Workers int
+}
+
+// Collector deduplicates and extracts job executables. It is safe for
+// concurrent use by many scheduler hooks.
+type Collector struct {
+	opt Options
+
+	mu    sync.Mutex
+	cache map[[sha256.Size]byte]*dataset.Sample
+	order [][sha256.Size]byte // FIFO for eviction
+	stats Stats
+}
+
+// New returns an empty collector.
+func New(opt Options) *Collector {
+	return &Collector{
+		opt:   opt,
+		cache: map[[sha256.Size]byte]*dataset.Sample{},
+	}
+}
+
+// Collect ingests one observed execution of exe with the given binary
+// content. It returns the extracted sample and whether it was served from
+// the exact-hash cache. The sample's Class and Version are left empty:
+// user-submitted binaries are unlabelled by definition — labelling them
+// is the classifier's job.
+func (c *Collector) Collect(exe string, bin []byte) (dataset.Sample, bool, error) {
+	sum := sha256.Sum256(bin)
+
+	c.mu.Lock()
+	c.stats.Seen++
+	if s, ok := c.cache[sum]; ok {
+		c.stats.CacheHits++
+		out := *s
+		out.Exe = exe // name may differ between executions; content rules
+		c.mu.Unlock()
+		return out, true, nil
+	}
+	c.mu.Unlock()
+
+	// Extraction happens outside the lock: it is the expensive part and
+	// distinct binaries extract independently.
+	s, err := dataset.FromBinary("", "", exe, bin)
+	if err != nil {
+		return dataset.Sample{}, false, fmt.Errorf("collector: %w", err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cached, ok := c.cache[sum]; ok {
+		// Another hook extracted the same binary concurrently.
+		c.stats.CacheHits++
+		out := *cached
+		out.Exe = exe
+		return out, true, nil
+	}
+	stored := s
+	c.cache[sum] = &stored
+	c.order = append(c.order, sum)
+	c.stats.Unique++
+	if c.opt.MaxEntries > 0 && len(c.cache) > c.opt.MaxEntries {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.cache, oldest)
+		c.stats.Evicted++
+	}
+	return s, false, nil
+}
+
+// Stats returns a snapshot of the collector's counters.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Known reports whether a binary with this content was collected before.
+func (c *Collector) Known(bin []byte) bool {
+	sum := sha256.Sum256(bin)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.cache[sum]
+	return ok
+}

@@ -1,0 +1,139 @@
+package collector
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// binaries returns n distinct valid ELF binaries.
+func binaries(t *testing.T, n int) [][]byte {
+	t.Helper()
+	c, err := synth.Generate([]synth.ClassSpec{{Name: "Coll", Samples: n}}, synth.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, 0, n)
+	for i := range c.Samples {
+		out = append(out, c.Samples[i].Binary)
+	}
+	if len(out) < n {
+		t.Fatalf("only %d binaries generated", len(out))
+	}
+	return out[:n]
+}
+
+func TestCollectExtractsAndCaches(t *testing.T) {
+	bins := binaries(t, 3)
+	c := New(Options{})
+	s1, hit, err := c.Collect("a.out", bins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first collection reported a cache hit")
+	}
+	if s1.Digests[0].IsZero() {
+		t.Fatal("collected sample has no file digest")
+	}
+	// Same content, different name: cache hit, name updated.
+	s2, hit, err := c.Collect("renamed.bin", bins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("repeat execution not recognised")
+	}
+	if s2.Exe != "renamed.bin" {
+		t.Fatalf("exe = %q", s2.Exe)
+	}
+	if s2.SHA256 != s1.SHA256 || s2.Digests != s1.Digests {
+		t.Fatal("cached sample features differ from original")
+	}
+	stats := c.Stats()
+	if stats.Seen != 2 || stats.Unique != 1 || stats.CacheHits != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestCollectRejectsNonELF(t *testing.T) {
+	c := New(Options{})
+	if _, _, err := c.Collect("script.sh", []byte("#!/bin/sh\n")); err == nil {
+		t.Fatal("script accepted")
+	}
+	if got := c.Stats().Unique; got != 0 {
+		t.Fatalf("failed collection cached: %d unique", got)
+	}
+}
+
+func TestEviction(t *testing.T) {
+	bins := binaries(t, 4)
+	c := New(Options{MaxEntries: 2})
+	for _, b := range bins[:3] {
+		if _, _, err := c.Collect("x", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := c.Stats()
+	if stats.Evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", stats.Evicted)
+	}
+	if c.Known(bins[0]) {
+		t.Fatal("oldest entry still cached after eviction")
+	}
+	if !c.Known(bins[1]) || !c.Known(bins[2]) {
+		t.Fatal("recent entries evicted")
+	}
+	// Re-collecting the evicted binary re-extracts it.
+	_, hit, err := c.Collect("x", bins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("evicted binary served from cache")
+	}
+}
+
+func TestConcurrentCollect(t *testing.T) {
+	bins := binaries(t, 4)
+	c := New(Options{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, _, err := c.Collect("x", bins[i%len(bins)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stats := c.Stats()
+	if stats.Unique != len(bins) {
+		t.Fatalf("unique = %d, want %d", stats.Unique, len(bins))
+	}
+	if stats.Seen != 160 {
+		t.Fatalf("seen = %d, want 160", stats.Seen)
+	}
+	if stats.CacheHits != stats.Seen-stats.Unique {
+		t.Fatalf("hit accounting off: %+v", stats)
+	}
+}
+
+func TestKnown(t *testing.T) {
+	bins := binaries(t, 1)
+	c := New(Options{})
+	if c.Known(bins[0]) {
+		t.Fatal("empty collector knows a binary")
+	}
+	if _, _, err := c.Collect("x", bins[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Known(bins[0]) {
+		t.Fatal("collected binary not known")
+	}
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/rf"
+	"repro/ssdeep"
+)
+
+// Classifier is a trained Fuzzy Hash Classifier.
+type Classifier struct {
+	cfg       Config
+	profiles  *profileSet
+	forest    *rf.Forest
+	threshold float64
+	distance  ssdeep.DistanceFunc
+
+	// tuning is the threshold sweep recorded during training (Figure 3);
+	// nil when the threshold was fixed by configuration.
+	tuning []ThresholdScore
+}
+
+// ThresholdScore is one point of the confidence-threshold sweep.
+type ThresholdScore struct {
+	// Threshold is the confidence cut-off.
+	Threshold float64
+	// Scores are the micro/macro/weighted f1 values on the inner
+	// validation split.
+	Scores ml.F1Scores
+}
+
+// Train fits a Fuzzy Hash Classifier on the labelled training samples.
+func Train(samples []dataset.Sample, cfg Config) (*Classifier, error) {
+	cfg = cfg.withDefaults()
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: no training samples")
+	}
+	dist, err := cfg.Distance.Func()
+	if err != nil {
+		return nil, err
+	}
+
+	classSet := map[string]bool{}
+	for i := range samples {
+		if samples[i].Class == "" || samples[i].Class == UnknownLabel {
+			return nil, fmt.Errorf("core: training sample %d has invalid class %q", i, samples[i].Class)
+		}
+		classSet[samples[i].Class] = true
+	}
+	if len(classSet) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 training classes, got %d", len(classSet))
+	}
+	classes := make([]string, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+
+	c := &Classifier{cfg: cfg, distance: dist, threshold: cfg.Threshold}
+	c.profiles = buildProfiles(samples, cfg.Features, classes)
+
+	// Hyper-parameter and threshold tuning on an inner split of the
+	// training set (the paper tunes "only within the training set").
+	forestParams := cfg.Forest
+	needTuning := cfg.Grid != nil || cfg.Threshold == 0
+	if needTuning {
+		grid := cfg.Grid
+		if grid == nil {
+			grid = &Grid{Thresholds: defaultThresholds()}
+		}
+		best, curve, err := tune(samples, cfg, grid)
+		if err != nil {
+			return nil, fmt.Errorf("core: tuning: %w", err)
+		}
+		forestParams = best.params
+		if cfg.Threshold == 0 {
+			c.threshold = best.threshold
+		}
+		c.tuning = curve
+	}
+
+	// Final fit on the full training set.
+	X := c.profiles.featurizeBatch(samples, dist, cfg.Workers)
+	y := make([]int, len(samples))
+	classIndex := make(map[string]int, len(classes))
+	for i, cl := range classes {
+		classIndex[cl] = i
+	}
+	for i := range samples {
+		y[i] = classIndex[samples[i].Class]
+	}
+	forestParams.Balanced = true
+	forestParams.Workers = cfg.Workers
+	forest, err := rf.Train(X, y, len(classes), forestParams)
+	if err != nil {
+		return nil, fmt.Errorf("core: training forest: %w", err)
+	}
+	c.forest = forest
+	return c, nil
+}
+
+// Classes returns the known class labels in model order.
+func (c *Classifier) Classes() []string {
+	return append([]string(nil), c.profiles.classes...)
+}
+
+// Threshold returns the confidence threshold in effect.
+func (c *Classifier) Threshold() float64 { return c.threshold }
+
+// SetThreshold overrides the confidence threshold; the paper describes
+// raising it to capture more unknown samples at the cost of precision.
+func (c *Classifier) SetThreshold(t float64) { c.threshold = t }
+
+// TuningCurve returns the recorded threshold sweep (Figure 3), or nil if
+// the threshold was fixed.
+func (c *Classifier) TuningCurve() []ThresholdScore {
+	return append([]ThresholdScore(nil), c.tuning...)
+}
+
+// Featurize exposes the similarity feature vector of a sample, mainly for
+// the model-comparison ablations that train other classifiers on the same
+// features.
+func (c *Classifier) Featurize(s *dataset.Sample) []float64 {
+	return c.profiles.featurize(s, c.distance)
+}
+
+// FeaturizeBatch featurises samples in parallel.
+func (c *Classifier) FeaturizeBatch(samples []dataset.Sample) [][]float64 {
+	return c.profiles.featurizeBatch(samples, c.distance, c.cfg.Workers)
+}
+
+// Labels encodes training-style integer labels for samples against this
+// classifier's class list; unknown classes map to -1.
+func (c *Classifier) Labels(samples []dataset.Sample) []int {
+	idx := make(map[string]int, len(c.profiles.classes))
+	for i, cl := range c.profiles.classes {
+		idx[cl] = i
+	}
+	out := make([]int, len(samples))
+	for i := range samples {
+		if v, ok := idx[samples[i].Class]; ok {
+			out[i] = v
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Classify predicts the application class of one sample.
+func (c *Classifier) Classify(s *dataset.Sample) Prediction {
+	x := c.profiles.featurize(s, c.distance)
+	return c.predictFromProba(c.forest.PredictProba(x))
+}
+
+// ClassifyBatch predicts many samples with a bounded worker pool.
+func (c *Classifier) ClassifyBatch(samples []dataset.Sample) []Prediction {
+	X := c.profiles.featurizeBatch(samples, c.distance, c.cfg.Workers)
+	probas := c.forest.PredictProbaBatch(X, c.cfg.Workers)
+	out := make([]Prediction, len(samples))
+	for i := range probas {
+		out[i] = c.predictFromProba(probas[i])
+	}
+	return out
+}
+
+// predictFromProba applies the confidence threshold to a probability
+// vector.
+func (c *Classifier) predictFromProba(proba []float64) Prediction {
+	best, bestP := 0, -1.0
+	for cl, p := range proba {
+		if p > bestP {
+			best, bestP = cl, p
+		}
+	}
+	pred := Prediction{
+		Class:      c.profiles.classes[best],
+		Confidence: bestP,
+	}
+	if bestP < c.threshold {
+		pred.Label = UnknownLabel
+	} else {
+		pred.Label = pred.Class
+	}
+	return pred
+}
+
+// GroundTruth maps samples to evaluation labels: the class name when the
+// classifier knows the class, UnknownLabel otherwise — exactly how the
+// paper scores its test set (Table 4's "-1" row).
+func (c *Classifier) GroundTruth(samples []dataset.Sample) []string {
+	known := map[string]bool{}
+	for _, cl := range c.profiles.classes {
+		known[cl] = true
+	}
+	out := make([]string, len(samples))
+	for i := range samples {
+		if known[samples[i].Class] {
+			out[i] = samples[i].Class
+		} else {
+			out[i] = UnknownLabel
+		}
+	}
+	return out
+}
+
+// Evaluate classifies samples and scores them against the ground truth,
+// producing the paper's classification report.
+func (c *Classifier) Evaluate(samples []dataset.Sample) (*ml.Report, error) {
+	preds := c.ClassifyBatch(samples)
+	yPred := make([]string, len(preds))
+	for i := range preds {
+		yPred[i] = preds[i].Label
+	}
+	return ml.ClassificationReport(c.GroundTruth(samples), yPred)
+}
+
+// FeatureImportance aggregates the Random Forest's per-column importances
+// over each fuzzy-hash feature's column group and normalises to 1 — the
+// paper's Table 5.
+func (c *Classifier) FeatureImportance() map[string]float64 {
+	groups := c.profiles.featureGroups()
+	out := make(map[string]float64, len(groups))
+	total := 0.0
+	for kind, span := range groups {
+		sum := 0.0
+		for i := span[0]; i < span[1]; i++ {
+			sum += c.forest.Importances[i]
+		}
+		out[kind.String()] = sum
+		total += sum
+	}
+	if total > 0 {
+		for k := range out {
+			out[k] /= total
+		}
+	}
+	return out
+}
+
+// ForestParams returns the Random Forest parameters of the fitted model
+// (after any grid search).
+func (c *Classifier) ForestParams() rf.Params {
+	return c.forest.Params
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/ssdeep"
+)
+
+// classProfile is the fuzzy-hash signature set of one class for one
+// feature kind: the deduplicated digests of its training samples,
+// precompared-ready.
+type classProfile struct {
+	digests  []string // canonical digest strings (sorted, unique)
+	prepared []ssdeep.Prepared
+}
+
+// profileSet holds, per feature kind, one profile per known class (class
+// index order).
+type profileSet struct {
+	features []dataset.FeatureKind
+	classes  []string
+	profiles map[dataset.FeatureKind][]classProfile
+}
+
+// buildProfiles collects per-class digest profiles from training samples.
+// classIndex maps class name to label; samples of classes not present in
+// the index are ignored.
+func buildProfiles(samples []dataset.Sample, features []dataset.FeatureKind, classes []string) *profileSet {
+	classIndex := make(map[string]int, len(classes))
+	for i, c := range classes {
+		classIndex[c] = i
+	}
+	ps := &profileSet{
+		features: features,
+		classes:  classes,
+		profiles: make(map[dataset.FeatureKind][]classProfile, len(features)),
+	}
+	for _, kind := range features {
+		sets := make([]map[string]bool, len(classes))
+		for i := range sets {
+			sets[i] = map[string]bool{}
+		}
+		for i := range samples {
+			ci, ok := classIndex[samples[i].Class]
+			if !ok {
+				continue
+			}
+			d := samples[i].Digests[kind]
+			if d.IsZero() {
+				continue
+			}
+			sets[ci][d.String()] = true
+		}
+		profiles := make([]classProfile, len(classes))
+		for ci, set := range sets {
+			p := classProfile{digests: make([]string, 0, len(set))}
+			for s := range set {
+				p.digests = append(p.digests, s)
+			}
+			sort.Strings(p.digests)
+			p.prepared = make([]ssdeep.Prepared, len(p.digests))
+			for i, s := range p.digests {
+				d, err := ssdeep.Parse(s)
+				if err != nil {
+					continue // unreachable: digests came from ssdeep itself
+				}
+				p.prepared[i] = ssdeep.Prepare(d)
+			}
+			profiles[ci] = p
+		}
+		ps.profiles[kind] = profiles
+	}
+	return ps
+}
+
+// numFeatures is the featurised dimensionality: |kinds| x |classes|.
+func (ps *profileSet) numFeatures() int {
+	return len(ps.features) * len(ps.classes)
+}
+
+// featurize renders one sample as its max-similarity vector: for each
+// feature kind and each known class, the highest similarity between the
+// sample's digest and any training digest of that class. This realises
+// the paper's "feature matrix ... based on the SSDeep fuzzy hash
+// similarity between sample features".
+func (ps *profileSet) featurize(s *dataset.Sample, dist ssdeep.DistanceFunc) []float64 {
+	out := make([]float64, 0, ps.numFeatures())
+	for _, kind := range ps.features {
+		d := s.Digests[kind]
+		if d.IsZero() {
+			for range ps.classes {
+				out = append(out, 0)
+			}
+			continue
+		}
+		prep := ssdeep.Prepare(d)
+		for ci := range ps.classes {
+			best := 0
+			for _, q := range ps.profiles[kind][ci].prepared {
+				if score := ssdeep.ComparePrepared(prep, q, dist); score > best {
+					best = score
+					if best == 100 {
+						break
+					}
+				}
+			}
+			out = append(out, float64(best))
+		}
+	}
+	return out
+}
+
+// featurizeBatch featurises many samples with a bounded worker pool.
+func (ps *profileSet) featurizeBatch(samples []dataset.Sample, dist ssdeep.DistanceFunc, workers int) [][]float64 {
+	if workers <= 0 {
+		workers = 1
+	}
+	out := make([][]float64, len(samples))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = ps.featurize(&samples[i], dist)
+			}
+		}()
+	}
+	for i := range samples {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// featureGroups returns, for each feature kind, the column range
+// [lo, hi) it occupies in the featurised vector; used to aggregate
+// Random-Forest importances into the paper's per-feature Table 5.
+func (ps *profileSet) featureGroups() map[dataset.FeatureKind][2]int {
+	groups := make(map[dataset.FeatureKind][2]int, len(ps.features))
+	for i, kind := range ps.features {
+		lo := i * len(ps.classes)
+		groups[kind] = [2]int{lo, lo + len(ps.classes)}
+	}
+	return groups
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/rf"
+	"repro/ssdeep"
+)
+
+// parseDigest parses a stored digest string into prepared form.
+func parseDigest(s string) (ssdeep.Prepared, error) {
+	d, err := ssdeep.Parse(s)
+	if err != nil {
+		return ssdeep.Prepared{}, fmt.Errorf("core: model digest %q: %w", s, err)
+	}
+	return ssdeep.Prepare(d), nil
+}
+
+// modelVersion tags the persisted format.
+const modelVersion = 1
+
+// kindProfilesDTO is the serialised profile set of one feature kind.
+type kindProfilesDTO struct {
+	// Kind is the dataset.FeatureKind value.
+	Kind int `json:"kind"`
+	// PerClass holds the digest strings per class, in class order.
+	PerClass [][]string `json:"per_class"`
+}
+
+// modelDTO is the on-disk representation of a trained classifier.
+type modelDTO struct {
+	Version   int               `json:"version"`
+	Features  []int             `json:"features"`
+	Classes   []string          `json:"classes"`
+	Distance  string            `json:"distance"`
+	Threshold float64           `json:"threshold"`
+	Profiles  []kindProfilesDTO `json:"profiles"`
+	Forest    *rf.Forest        `json:"forest"`
+	Tuning    []ThresholdScore  `json:"tuning,omitempty"`
+}
+
+// Save serialises the classifier as JSON. The model is self-contained:
+// class profiles (digests only — no raw file content, preserving the
+// paper's privacy argument), the forest, the threshold and the tuning
+// curve.
+func (c *Classifier) Save(w io.Writer) error {
+	dto := modelDTO{
+		Version:   modelVersion,
+		Classes:   c.profiles.classes,
+		Distance:  string(c.cfg.Distance),
+		Threshold: c.threshold,
+		Forest:    c.forest,
+		Tuning:    c.tuning,
+	}
+	if dto.Distance == "" {
+		dto.Distance = string(DistanceDL)
+	}
+	for _, kind := range c.profiles.features {
+		dto.Features = append(dto.Features, int(kind))
+		kp := kindProfilesDTO{Kind: int(kind)}
+		for _, p := range c.profiles.profiles[kind] {
+			kp.PerClass = append(kp.PerClass, p.digests)
+		}
+		dto.Profiles = append(dto.Profiles, kp)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&dto); err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a classifier saved with Save.
+func Load(r io.Reader) (*Classifier, error) {
+	var dto modelDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("core: loading model: %w", err)
+	}
+	if dto.Version != modelVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", dto.Version)
+	}
+	if dto.Forest == nil {
+		return nil, fmt.Errorf("core: model has no forest")
+	}
+	distName := DistanceName(dto.Distance)
+	dist, err := distName.Func()
+	if err != nil {
+		return nil, err
+	}
+	features := make([]dataset.FeatureKind, len(dto.Features))
+	for i, k := range dto.Features {
+		if k < 0 || k >= int(dataset.NumFeatureKinds) {
+			return nil, fmt.Errorf("core: invalid feature kind %d", k)
+		}
+		features[i] = dataset.FeatureKind(k)
+	}
+	c := &Classifier{
+		cfg:       Config{Features: features, Distance: distName}.withDefaults(),
+		forest:    dto.Forest,
+		threshold: dto.Threshold,
+		distance:  dist,
+		tuning:    dto.Tuning,
+	}
+	// Rebuild prepared profiles from the digest strings.
+	ps := &profileSet{
+		features: features,
+		classes:  dto.Classes,
+		profiles: make(map[dataset.FeatureKind][]classProfile, len(features)),
+	}
+	for _, kp := range dto.Profiles {
+		kind := dataset.FeatureKind(kp.Kind)
+		if len(kp.PerClass) != len(dto.Classes) {
+			return nil, fmt.Errorf("core: profile shape mismatch for %v", kind)
+		}
+		profiles := make([]classProfile, len(kp.PerClass))
+		for ci, digests := range kp.PerClass {
+			p := classProfile{digests: digests}
+			for _, s := range digests {
+				d, err := parseDigest(s)
+				if err != nil {
+					return nil, err
+				}
+				p.prepared = append(p.prepared, d)
+			}
+			profiles[ci] = p
+		}
+		ps.profiles[kind] = profiles
+	}
+	c.profiles = ps
+	if got, want := c.profiles.numFeatures(), dto.Forest.NumFeatures; got != want {
+		return nil, fmt.Errorf("core: model inconsistency: %d profile features vs %d forest features", got, want)
+	}
+	return c, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/rf"
+)
+
+// fallbackThreshold is used when the training set is too small to carve
+// out an inner validation split with pseudo-unknown classes.
+const fallbackThreshold = 0.30
+
+// tuneResult is the winning grid point.
+type tuneResult struct {
+	params    rf.Params
+	threshold float64
+	combined  float64
+}
+
+// tune reproduces the paper's model selection: inside the training set,
+// hold out a fraction of classes as pseudo-unknown plus a stratified
+// sample split, grid-search the Random Forest parameters, and sweep the
+// confidence threshold, selecting the point that maximises the combined
+// micro+macro+weighted f1. The sweep of the winning parameter set is the
+// paper's Figure 3.
+func tune(trainSamples []dataset.Sample, cfg Config, grid *Grid) (tuneResult, []ThresholdScore, error) {
+	base := cfg.Forest
+	split, err := ml.SplitTwoPhase(trainSamples, ml.SplitOptions{
+		Mode:                 ml.RandomSplit,
+		UnknownClassFraction: 0.2,
+		TrainFraction:        0.6,
+		Seed:                 cfg.Seed ^ 0x1776_5eed,
+	})
+	if err != nil {
+		return tuneResult{}, nil, err
+	}
+	if len(split.KnownClasses) < 2 || len(split.TestIdx) == 0 {
+		// Too few classes to simulate unknowns; keep the base parameters
+		// and a conservative fixed threshold.
+		return tuneResult{params: base, threshold: fallbackThreshold}, nil, nil
+	}
+
+	dist, err := cfg.Distance.Func()
+	if err != nil {
+		return tuneResult{}, nil, err
+	}
+	innerTrain := gather(trainSamples, split.TrainIdx)
+	innerVal := gather(trainSamples, split.TestIdx)
+	profiles := buildProfiles(innerTrain, cfg.Features, split.KnownClasses)
+	xTrain := profiles.featurizeBatch(innerTrain, dist, cfg.Workers)
+	xVal := profiles.featurizeBatch(innerVal, dist, cfg.Workers)
+
+	classIndex := make(map[string]int, len(split.KnownClasses))
+	for i, c := range split.KnownClasses {
+		classIndex[c] = i
+	}
+	yTrain := make([]int, len(innerTrain))
+	for i := range innerTrain {
+		yTrain[i] = classIndex[innerTrain[i].Class]
+	}
+	yTrue := make([]string, len(innerVal))
+	for i := range innerVal {
+		if _, ok := classIndex[innerVal[i].Class]; ok {
+			yTrue[i] = innerVal[i].Class
+		} else {
+			yTrue[i] = UnknownLabel
+		}
+	}
+
+	thresholds := grid.Thresholds
+	if len(thresholds) == 0 {
+		thresholds = defaultThresholds()
+	}
+
+	best := tuneResult{params: base, threshold: fallbackThreshold, combined: -1}
+	var bestCurve []ThresholdScore
+	for _, params := range grid.expand(base) {
+		params.Balanced = true
+		params.Workers = cfg.Workers
+		forest, err := rf.Train(xTrain, yTrain, len(split.KnownClasses), params)
+		if err != nil {
+			return tuneResult{}, nil, fmt.Errorf("grid point %+v: %w", params, err)
+		}
+		probas := forest.PredictProbaBatch(xVal, cfg.Workers)
+		curve := make([]ThresholdScore, 0, len(thresholds))
+		improved := false
+		for _, th := range thresholds {
+			yPred := applyThreshold(probas, split.KnownClasses, th)
+			report, err := ml.ClassificationReport(yTrue, yPred)
+			if err != nil {
+				return tuneResult{}, nil, err
+			}
+			scores := report.Scores()
+			curve = append(curve, ThresholdScore{Threshold: th, Scores: scores})
+			if c := scores.Combined(); c > best.combined {
+				best = tuneResult{params: params, threshold: th, combined: c}
+				improved = true
+			}
+		}
+		if improved {
+			bestCurve = curve
+		}
+	}
+	return best, bestCurve, nil
+}
+
+// applyThreshold converts probability vectors into labels under a
+// confidence threshold.
+func applyThreshold(probas [][]float64, classes []string, threshold float64) []string {
+	out := make([]string, len(probas))
+	for i, proba := range probas {
+		best, bestP := 0, -1.0
+		for c, p := range proba {
+			if p > bestP {
+				best, bestP = c, p
+			}
+		}
+		if bestP < threshold {
+			out[i] = UnknownLabel
+		} else {
+			out[i] = classes[best]
+		}
+	}
+	return out
+}
+
+// gather selects samples by index.
+func gather(samples []dataset.Sample, idx []int) []dataset.Sample {
+	out := make([]dataset.Sample, len(idx))
+	for i, j := range idx {
+		out[i] = samples[j]
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func testCorpus(t *testing.T) *synth.Corpus {
+	t.Helper()
+	specs := []synth.ClassSpec{
+		{Name: "AppA", Samples: 6},
+		{Name: "AppB", Samples: 4},
+		{Name: "AppU", Samples: 3, Unknown: true},
+	}
+	c, err := synth.Generate(specs, synth.Options{Seed: 42})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return c
+}
+
+func TestFromCorpus(t *testing.T) {
+	c := testCorpus(t)
+	samples, err := FromCorpus(c, 4)
+	if err != nil {
+		t.Fatalf("FromCorpus: %v", err)
+	}
+	if len(samples) != len(c.Samples) {
+		t.Fatalf("got %d samples, want %d", len(samples), len(c.Samples))
+	}
+	for i := range samples {
+		s := &samples[i]
+		if s.Class == "" || s.Version == "" || s.Exe == "" {
+			t.Fatalf("sample %d has empty labels: %+v", i, s)
+		}
+		if s.Digests[FeatureFile].IsZero() {
+			t.Errorf("sample %s missing file digest", s.Path())
+		}
+		if s.Digests[FeatureStrings].IsZero() {
+			t.Errorf("sample %s missing strings digest", s.Path())
+		}
+		if s.Digests[FeatureSymbols].IsZero() {
+			t.Errorf("sample %s missing symbols digest", s.Path())
+		}
+		if s.Digests[FeatureNeeded].IsZero() {
+			t.Errorf("sample %s missing needed digest", s.Path())
+		}
+		if s.SHA256 == [32]byte{} {
+			t.Errorf("sample %s missing sha256", s.Path())
+		}
+		if (s.Class == "AppU") != s.UnknownClass {
+			t.Errorf("sample %s unknown flag wrong", s.Path())
+		}
+	}
+}
+
+func TestFromCorpusDeterministicOrder(t *testing.T) {
+	c := testCorpus(t)
+	a, err := FromCorpus(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromCorpus(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Path() != b[i].Path() || a[i].SHA256 != b[i].SHA256 {
+			t.Fatalf("worker count changed sample order/content at %d", i)
+		}
+	}
+}
+
+func TestFromBinaryRejectsNonELF(t *testing.T) {
+	if _, err := FromBinary("C", "1.0", "x", []byte("#!/bin/sh\n")); err == nil {
+		t.Fatal("FromBinary accepted a shell script")
+	}
+}
+
+func TestStrippedBinaryYieldsZeroSymbolDigest(t *testing.T) {
+	samples, err := synth.GenerateOne(
+		synth.ClassSpec{Name: "S", Samples: 3},
+		synth.Options{Seed: 1, StrippedFraction: 1.0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromBinary("S", "v", "x", samples[0].Binary)
+	if err != nil {
+		t.Fatalf("FromBinary on stripped: %v", err)
+	}
+	if !s.Stripped {
+		t.Error("Stripped flag not set")
+	}
+	if !s.Digests[FeatureSymbols].IsZero() {
+		t.Error("stripped binary produced a symbols digest")
+	}
+	if s.Digests[FeatureFile].IsZero() {
+		t.Error("stripped binary should still have a file digest")
+	}
+}
+
+func TestScanRoundTrip(t *testing.T) {
+	c := testCorpus(t)
+	dir := t.TempDir()
+	if err := c.WriteTree(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Drop a non-ELF file into the tree; it must be skipped.
+	junk := filepath.Join(dir, "AppA", "README")
+	if err := os.WriteFile(junk, []byte("not a binary"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scanned, err := Scan(dir, 0)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(scanned) != len(c.Samples) {
+		t.Fatalf("Scan found %d samples, want %d", len(scanned), len(c.Samples))
+	}
+	// Compare against the in-memory pipeline keyed by path.
+	direct, err := FromCorpus(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]Sample{}
+	for _, s := range direct {
+		byPath[s.Path()] = s
+	}
+	for _, s := range scanned {
+		want, ok := byPath[s.Path()]
+		if !ok {
+			t.Fatalf("scanned unexpected sample %s", s.Path())
+		}
+		if want.SHA256 != s.SHA256 || want.Digests != s.Digests {
+			t.Fatalf("scan/corpus feature mismatch for %s", s.Path())
+		}
+	}
+}
+
+func TestScanMissingDir(t *testing.T) {
+	if _, err := Scan(filepath.Join(t.TempDir(), "nope"), 0); err == nil {
+		t.Fatal("Scan of missing directory succeeded")
+	}
+}
+
+func TestApplyPaperCollectionRules(t *testing.T) {
+	samples := []Sample{
+		{Class: "A", Version: "1"}, {Class: "A", Version: "2"}, {Class: "A", Version: "3"},
+		{Class: "B", Version: "1"}, {Class: "B", Version: "2"},
+		{Class: "C", Version: "1", Stripped: true},
+		{Class: "C", Version: "2"}, {Class: "C", Version: "3"}, {Class: "C", Version: "4"},
+	}
+	out := ApplyPaperCollectionRules(samples, 3)
+	counts := map[string]int{}
+	for _, s := range out {
+		counts[s.Class]++
+		if s.Stripped {
+			t.Error("stripped sample survived collection rules")
+		}
+	}
+	if counts["A"] != 3 {
+		t.Errorf("class A kept %d samples, want 3", counts["A"])
+	}
+	if counts["B"] != 0 {
+		t.Errorf("class B (2 versions) kept %d samples, want 0", counts["B"])
+	}
+	if counts["C"] != 3 {
+		t.Errorf("class C kept %d samples, want 3 (stripped one dropped)", counts["C"])
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	samples := []Sample{
+		{Class: "A"}, {Class: "A"}, {Class: "B"}, {Class: "B"}, {Class: "B"},
+		{Class: "C", Stripped: true},
+	}
+	st := ComputeStats(samples)
+	if st.Samples != 6 || st.Classes != 3 || st.Stripped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Counts[0].Class != "B" || st.Counts[0].Count != 3 {
+		t.Fatalf("counts not sorted by size: %+v", st.Counts)
+	}
+}
+
+func TestFeatureKindString(t *testing.T) {
+	want := map[FeatureKind]string{
+		FeatureFile:    "ssdeep-file",
+		FeatureStrings: "ssdeep-strings",
+		FeatureSymbols: "ssdeep-symbols",
+		FeatureNeeded:  "ssdeep-needed",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("FeatureKind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/ssdeep"
+)
+
+// sampleDTO is the JSON-lines representation of a Sample. Digests are
+// stored in their canonical text form; fuzzy hashes are exactly what a
+// site is expected to retain instead of raw binaries (the paper's storage
+// and privacy argument).
+type sampleDTO struct {
+	Class        string   `json:"class"`
+	Version      string   `json:"version"`
+	Exe          string   `json:"exe"`
+	UnknownClass bool     `json:"unknown_class,omitempty"`
+	Stripped     bool     `json:"stripped,omitempty"`
+	SHA256       string   `json:"sha256"`
+	Digests      []string `json:"digests"`
+}
+
+// SaveSamples writes samples as JSON lines. Extraction is the expensive
+// part of the pipeline on a real install tree; persisting its output lets
+// training and auditing re-run without touching the binaries again.
+func SaveSamples(w io.Writer, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range samples {
+		s := &samples[i]
+		dto := sampleDTO{
+			Class:        s.Class,
+			Version:      s.Version,
+			Exe:          s.Exe,
+			UnknownClass: s.UnknownClass,
+			Stripped:     s.Stripped,
+			SHA256:       hex.EncodeToString(s.SHA256[:]),
+			Digests:      make([]string, NumFeatureKinds),
+		}
+		for k := FeatureKind(0); k < NumFeatureKinds; k++ {
+			if d := s.Digests[k]; !d.IsZero() {
+				dto.Digests[k] = d.String()
+			}
+		}
+		if err := enc.Encode(&dto); err != nil {
+			return fmt.Errorf("dataset: saving sample %s: %w", s.Path(), err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSamples reads samples written by SaveSamples.
+func LoadSamples(r io.Reader) ([]Sample, error) {
+	dec := json.NewDecoder(r)
+	var out []Sample
+	for {
+		var dto sampleDTO
+		if err := dec.Decode(&dto); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("dataset: loading samples: %w", err)
+		}
+		s := Sample{
+			Class:        dto.Class,
+			Version:      dto.Version,
+			Exe:          dto.Exe,
+			UnknownClass: dto.UnknownClass,
+			Stripped:     dto.Stripped,
+		}
+		sha, err := hex.DecodeString(dto.SHA256)
+		if err != nil || len(sha) != len(s.SHA256) {
+			return nil, fmt.Errorf("dataset: sample %s: bad sha256 %q", s.Path(), dto.SHA256)
+		}
+		copy(s.SHA256[:], sha)
+		if len(dto.Digests) > int(NumFeatureKinds) {
+			return nil, fmt.Errorf("dataset: sample %s: %d digests", s.Path(), len(dto.Digests))
+		}
+		for k, text := range dto.Digests {
+			if text == "" {
+				continue
+			}
+			d, err := ssdeep.Parse(text)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: sample %s digest %d: %w", s.Path(), k, err)
+			}
+			s.Digests[k] = d
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,222 @@
+package editdist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+type distCase struct {
+	a, b string
+	want int
+}
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []distCase{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"gumbo", "gambol", 2},
+		{"ca", "abc", 3},
+		{"a", "b", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOSAKnownValues(t *testing.T) {
+	cases := []distCase{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "acb", 1},   // one transposition
+		{"abcd", "badc", 2}, // two transpositions
+		{"ca", "abc", 3},    // famous case where OSA > full DL
+		{"kitten", "sitting", 3},
+		{"abcdef", "abcdfe", 1},
+		{"ab", "ba", 1},
+		{"ab", "b", 1},
+	}
+	for _, c := range cases {
+		if got := OSA(c.a, c.b); got != c.want {
+			t.Errorf("OSA(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDamerauLevenshteinKnownValues(t *testing.T) {
+	cases := []distCase{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "acb", 1},
+		{"ca", "abc", 2}, // full DL allows edit after transposition
+		{"kitten", "sitting", 3},
+		{"ab", "ba", 1},
+	}
+	for _, c := range cases {
+		if got := DamerauLevenshtein(c.a, c.b); got != c.want {
+			t.Errorf("DamerauLevenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestWeightedUnitEqualsOSA(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{"", ""}, {"abc", "acb"}, {"kitten", "sitting"}, {"ca", "abc"},
+		{"hello world", "help word"}, {"aaaa", "aa"},
+	}
+	for _, c := range cases {
+		// Weighted with unit costs skips transposition of equal symbols,
+		// which never helps under unit cost, so the values must agree.
+		if got, want := Weighted(c.a, c.b, UnitCosts()), OSA(c.a, c.b); got != want {
+			t.Errorf("Weighted unit (%q,%q) = %d, OSA = %d", c.a, c.b, got, want)
+		}
+	}
+}
+
+func TestWeightedSpamsumCosts(t *testing.T) {
+	c := SpamsumCosts()
+	if got := Weighted("abc", "abd", c); got != 2 {
+		// One substitution costs 3, but delete+insert costs 2, which is cheaper.
+		t.Errorf("Weighted sub = %d, want 2 (delete+insert beats substitute)", got)
+	}
+	if got := Weighted("ab", "ba", c); got != 2 {
+		// Transposition costs 5, delete+insert costs 2.
+		t.Errorf("Weighted swap = %d, want 2", got)
+	}
+	if got := Weighted("abc", "", c); got != 3 {
+		t.Errorf("Weighted delete-all = %d, want 3", got)
+	}
+}
+
+// Property: every distance is a metric-like dissimilarity on the cases we
+// can verify cheaply.
+func TestDistanceProperties(t *testing.T) {
+	dists := map[string]func(a, b string) int{
+		"Levenshtein":        Levenshtein,
+		"OSA":                OSA,
+		"DamerauLevenshtein": DamerauLevenshtein,
+	}
+	for name, d := range dists {
+		d := d
+		t.Run(name+"/identity", func(t *testing.T) {
+			f := func(s string) bool {
+				s = clamp(s, 48)
+				return d(s, s) == 0
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Error(err)
+			}
+		})
+		t.Run(name+"/symmetry", func(t *testing.T) {
+			f := func(a, b string) bool {
+				a, b = clamp(a, 32), clamp(b, 32)
+				return d(a, b) == d(b, a)
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Error(err)
+			}
+		})
+		t.Run(name+"/bounded", func(t *testing.T) {
+			f := func(a, b string) bool {
+				a, b = clamp(a, 32), clamp(b, 32)
+				dist := d(a, b)
+				lo := len(a) - len(b)
+				if lo < 0 {
+					lo = -lo
+				}
+				return dist >= lo && dist <= max(len(a), len(b))
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Error(err)
+			}
+		})
+		t.Run(name+"/triangle", func(t *testing.T) {
+			f := func(a, b, c string) bool {
+				a, b, c = clamp(a, 20), clamp(b, 20), clamp(c, 20)
+				return d(a, c) <= d(a, b)+d(b, c)
+			}
+			cfg := &quick.Config{MaxCount: 300}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Property: DL <= OSA <= Levenshtein <= 2*DL.
+func TestDistanceOrdering(t *testing.T) {
+	f := func(a, b string) bool {
+		a, b = clamp(a, 32), clamp(b, 32)
+		lev := Levenshtein(a, b)
+		osa := OSA(a, b)
+		dl := DamerauLevenshtein(a, b)
+		return dl <= osa && osa <= lev && lev <= 2*dl || (lev == 0 && dl == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a single adjacent transposition always has OSA distance 1.
+func TestSingleTranspositionIsOne(t *testing.T) {
+	base := "abcdefghijklmnop"
+	for i := 0; i+1 < len(base); i++ {
+		b := []byte(base)
+		b[i], b[i+1] = b[i+1], b[i]
+		if got := OSA(base, string(b)); got != 1 {
+			t.Errorf("OSA single swap at %d = %d, want 1", i, got)
+		}
+		if got := DamerauLevenshtein(base, string(b)); got != 1 {
+			t.Errorf("DL single swap at %d = %d, want 1", i, got)
+		}
+		if got := Levenshtein(base, string(b)); got != 2 {
+			t.Errorf("Levenshtein single swap at %d = %d, want 2", i, got)
+		}
+	}
+}
+
+func TestLongInputs(t *testing.T) {
+	a := strings.Repeat("abcd", 16) // 64 chars, digest-sized
+	b := strings.Repeat("abdc", 16) // every block transposed
+	if got := OSA(a, b); got != 16 {
+		t.Errorf("OSA repeated swaps = %d, want 16", got)
+	}
+}
+
+func clamp(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkOSA64(b *testing.B) {
+	x := strings.Repeat("ALirXpz3", 8)
+	y := strings.Repeat("ALirpXz4", 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		OSA(x, y)
+	}
+}
+
+func BenchmarkLevenshtein64(b *testing.B) {
+	x := strings.Repeat("ALirXpz3", 8)
+	y := strings.Repeat("ALirpXz4", 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Levenshtein(x, y)
+	}
+}

@@ -1,0 +1,403 @@
+// Package elfgen writes synthetic ELF64 executables from a declarative
+// Spec. The paper's corpus consists of preinstalled scientific application
+// executables from a production HPC cluster; that data is private, so this
+// repository substitutes binaries generated here. The emitted files are
+// structurally real ELF: they carry .text/.rodata/.data content, a symbol
+// table with local and global symbols, an optional dynamic section with
+// DT_NEEDED entries, and a .comment toolchain banner — everything the
+// paper's three feature extractors (raw bytes, strings(1) output, nm(1)
+// global symbols) and its ldd future-work feature observe. The files parse
+// cleanly with debug/elf.
+package elfgen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// SymbolType distinguishes function symbols from data objects, which maps
+// onto the nm(1) code letters (T/t for text, D/d for data, R/r for
+// read-only data).
+type SymbolType int
+
+const (
+	// Func is an STT_FUNC symbol.
+	Func SymbolType = iota
+	// Object is an STT_OBJECT symbol.
+	Object
+)
+
+// Section names a target section for symbols.
+type Section string
+
+// Sections a symbol may live in.
+const (
+	Text   Section = ".text"
+	ROData Section = ".rodata"
+	Data   Section = ".data"
+)
+
+// Symbol describes one symbol-table entry.
+type Symbol struct {
+	// Name is the symbol name; it must be non-empty.
+	Name string
+	// Global selects STB_GLOBAL binding; otherwise the symbol is local.
+	Global bool
+	// Type is the symbol type.
+	Type SymbolType
+	// Section is the section the symbol is defined in.
+	Section Section
+	// Value is the symbol's offset inside its section.
+	Value uint64
+	// Size is the symbol's size in bytes.
+	Size uint64
+}
+
+// Spec declares the content of a synthetic executable.
+type Spec struct {
+	// Text, ROData and Data become the eponymous section contents.
+	Text, ROData, Data []byte
+	// Symbols populate .symtab (omitted entirely when Stripped).
+	Symbols []Symbol
+	// Needed lists DT_NEEDED shared-object names; when non-empty the file
+	// gains .dynstr and .dynamic sections, which is what ldd-style
+	// extraction reads.
+	Needed []string
+	// Comment is the .comment toolchain banner, e.g. "GCC: (GNU) 10.3.0".
+	Comment string
+	// Stripped omits .symtab/.strtab, modelling binaries stripped of
+	// symbol information (the paper's stated limitation).
+	Stripped bool
+}
+
+// ELF constants used by the writer; values follow the System V gABI.
+const (
+	baseVaddr = 0x400000
+	ehSize    = 64
+	phSize    = 56
+	shSize    = 64
+	symSize   = 24
+	dynSize   = 16
+
+	shtNull     = 0
+	shtProgbits = 1
+	shtSymtab   = 2
+	shtStrtab   = 3
+	shtDynamic  = 6
+
+	shfWrite = 1
+	shfAlloc = 2
+	shfExec  = 4
+	shfMerge = 0x10
+	shfStr   = 0x20
+
+	dtNull   = 0
+	dtNeeded = 1
+	dtStrtab = 5
+)
+
+// strtab accumulates a string table section.
+type strtab struct {
+	buf bytes.Buffer
+	off map[string]uint32
+}
+
+func newStrtab() *strtab {
+	t := &strtab{off: map[string]uint32{"": 0}}
+	t.buf.WriteByte(0)
+	return t
+}
+
+func (t *strtab) add(s string) uint32 {
+	if off, ok := t.off[s]; ok {
+		return off
+	}
+	off := uint32(t.buf.Len())
+	t.buf.WriteString(s)
+	t.buf.WriteByte(0)
+	t.off[s] = off
+	return off
+}
+
+// sectionDesc collects a section header under construction.
+type sectionDesc struct {
+	name      string
+	shType    uint32
+	flags     uint64
+	vaddr     uint64
+	offset    uint64
+	size      uint64
+	link      uint32
+	info      uint32
+	addralign uint64
+	entsize   uint64
+	body      []byte
+}
+
+// Build renders spec into ELF64 bytes.
+func Build(spec *Spec) ([]byte, error) {
+	if err := validate(spec); err != nil {
+		return nil, err
+	}
+
+	shstr := newStrtab()
+	var sections []sectionDesc
+	sections = append(sections, sectionDesc{name: ""}) // SHN_UNDEF
+
+	addSection := func(d sectionDesc) int {
+		shstr.add(d.name)
+		sections = append(sections, d)
+		return len(sections) - 1
+	}
+
+	textIdx := addSection(sectionDesc{
+		name: string(Text), shType: shtProgbits,
+		flags: shfAlloc | shfExec, addralign: 16, body: spec.Text,
+	})
+	roIdx := addSection(sectionDesc{
+		name: string(ROData), shType: shtProgbits,
+		flags: shfAlloc, addralign: 8, body: spec.ROData,
+	})
+	dataIdx := addSection(sectionDesc{
+		name: string(Data), shType: shtProgbits,
+		flags: shfAlloc | shfWrite, addralign: 8, body: spec.Data,
+	})
+	secIdx := map[Section]int{Text: textIdx, ROData: roIdx, Data: dataIdx}
+
+	if len(spec.Needed) > 0 {
+		dynstr := newStrtab()
+		var dyn bytes.Buffer
+		for _, lib := range spec.Needed {
+			off := dynstr.add(lib)
+			binary.Write(&dyn, binary.LittleEndian, uint64(dtNeeded))
+			binary.Write(&dyn, binary.LittleEndian, uint64(off))
+		}
+		binary.Write(&dyn, binary.LittleEndian, uint64(dtStrtab))
+		binary.Write(&dyn, binary.LittleEndian, uint64(0)) // patched by loaders; unused here
+		binary.Write(&dyn, binary.LittleEndian, uint64(dtNull))
+		binary.Write(&dyn, binary.LittleEndian, uint64(0))
+		dynstrIdx := addSection(sectionDesc{
+			name: ".dynstr", shType: shtStrtab,
+			flags: shfAlloc, addralign: 1, body: dynstr.buf.Bytes(),
+		})
+		addSection(sectionDesc{
+			name: ".dynamic", shType: shtDynamic,
+			flags: shfAlloc | shfWrite, addralign: 8,
+			link: uint32(dynstrIdx), entsize: dynSize, body: dyn.Bytes(),
+		})
+	}
+
+	if !spec.Stripped {
+		symBody, strBody, nLocal, err := buildSymtab(spec.Symbols, secIdx)
+		if err != nil {
+			return nil, err
+		}
+		symIdx := addSection(sectionDesc{
+			name: ".symtab", shType: shtSymtab, addralign: 8,
+			info: uint32(nLocal), entsize: symSize, body: symBody,
+		})
+		strIdx := addSection(sectionDesc{
+			name: ".strtab", shType: shtStrtab, addralign: 1, body: strBody,
+		})
+		sections[symIdx].link = uint32(strIdx)
+	}
+
+	if spec.Comment != "" {
+		body := append([]byte(spec.Comment), 0)
+		addSection(sectionDesc{
+			name: ".comment", shType: shtProgbits,
+			flags: shfMerge | shfStr, addralign: 1, entsize: 1, body: body,
+		})
+	}
+
+	shstrIdx := addSection(sectionDesc{
+		name: ".shstrtab", shType: shtStrtab, addralign: 1,
+	})
+	// .shstrtab's body includes its own name, which addSection recorded.
+	sections[shstrIdx].body = shstr.buf.Bytes()
+
+	// Lay out bodies after the ELF and program headers.
+	offset := uint64(ehSize + phSize)
+	for i := range sections {
+		s := &sections[i]
+		if i == 0 || len(s.body) == 0 {
+			continue
+		}
+		if s.addralign > 1 {
+			offset = align(offset, s.addralign)
+		}
+		s.offset = offset
+		s.size = uint64(len(s.body))
+		if s.flags&shfAlloc != 0 {
+			s.vaddr = baseVaddr + offset
+		}
+		offset += s.size
+	}
+	shoff := align(offset, 8)
+	total := shoff + uint64(len(sections))*shSize
+
+	// Patch symbol values now that section vaddrs are known.
+	if !spec.Stripped {
+		patchSymbolValues(sections, secIdx, spec.Symbols)
+	}
+
+	out := make([]byte, total)
+	writeELFHeader(out, uint64(len(sections)), shoff, uint64(shstrIdx), sections[textIdx].vaddr)
+	writeProgramHeader(out[ehSize:], total)
+	for i := range sections {
+		s := &sections[i]
+		if len(s.body) > 0 {
+			copy(out[s.offset:], s.body)
+		}
+	}
+	sh := out[shoff:]
+	for i := range sections {
+		writeSectionHeader(sh[i*shSize:], &sections[i], shstr)
+	}
+	return out, nil
+}
+
+func validate(spec *Spec) error {
+	if len(spec.Text) == 0 {
+		return fmt.Errorf("elfgen: spec has empty .text")
+	}
+	limits := map[Section]uint64{
+		Text:   uint64(len(spec.Text)),
+		ROData: uint64(len(spec.ROData)),
+		Data:   uint64(len(spec.Data)),
+	}
+	for _, sym := range spec.Symbols {
+		if sym.Name == "" {
+			return fmt.Errorf("elfgen: symbol with empty name")
+		}
+		limit, ok := limits[sym.Section]
+		if !ok {
+			return fmt.Errorf("elfgen: symbol %q targets unknown section %q", sym.Name, sym.Section)
+		}
+		if sym.Value > limit {
+			return fmt.Errorf("elfgen: symbol %q offset %d exceeds section %q size %d",
+				sym.Name, sym.Value, sym.Section, limit)
+		}
+	}
+	return nil
+}
+
+// buildSymtab renders the symbol table body (local symbols first, as the
+// gABI requires) and its string table. Symbol values are patched later
+// once section virtual addresses are known; here entries carry
+// section-relative offsets.
+func buildSymtab(symbols []Symbol, secIdx map[Section]int) (symBody, strBody []byte, nLocal int, err error) {
+	str := newStrtab()
+	ordered := orderSymbols(symbols)
+	var buf bytes.Buffer
+	buf.Write(make([]byte, symSize)) // null symbol
+	nLocal = 1
+	for _, sym := range ordered {
+		nameOff := str.add(sym.Name)
+		var info byte
+		if sym.Global {
+			info = 1 << 4 // STB_GLOBAL
+		} else {
+			nLocal++
+		}
+		if sym.Type == Func {
+			info |= 2 // STT_FUNC
+		} else {
+			info |= 1 // STT_OBJECT
+		}
+		var entry [symSize]byte
+		binary.LittleEndian.PutUint32(entry[0:], nameOff)
+		entry[4] = info
+		entry[5] = 0 // STV_DEFAULT
+		binary.LittleEndian.PutUint16(entry[6:], uint16(secIdx[sym.Section]))
+		binary.LittleEndian.PutUint64(entry[8:], sym.Value)
+		binary.LittleEndian.PutUint64(entry[16:], sym.Size)
+		buf.Write(entry[:])
+	}
+	return buf.Bytes(), str.buf.Bytes(), nLocal, nil
+}
+
+// orderSymbols returns symbols with locals before globals, preserving the
+// caller's relative order within each group.
+func orderSymbols(symbols []Symbol) []Symbol {
+	ordered := make([]Symbol, len(symbols))
+	copy(ordered, symbols)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return !ordered[i].Global && ordered[j].Global
+	})
+	return ordered
+}
+
+// patchSymbolValues rewrites each symbol's value from section-relative to
+// virtual address inside the rendered symtab body.
+func patchSymbolValues(sections []sectionDesc, secIdx map[Section]int, symbols []Symbol) {
+	var symSec *sectionDesc
+	for i := range sections {
+		if sections[i].name == ".symtab" {
+			symSec = &sections[i]
+			break
+		}
+	}
+	if symSec == nil {
+		return
+	}
+	ordered := orderSymbols(symbols)
+	for i, sym := range ordered {
+		entry := symSec.body[(i+1)*symSize:]
+		vaddr := sections[secIdx[sym.Section]].vaddr + sym.Value
+		binary.LittleEndian.PutUint64(entry[8:], vaddr)
+	}
+}
+
+func writeELFHeader(out []byte, shnum, shoff, shstrndx, entry uint64) {
+	copy(out, []byte{0x7f, 'E', 'L', 'F', 2 /*64-bit*/, 1 /*LSB*/, 1 /*version*/, 0})
+	le := binary.LittleEndian
+	le.PutUint16(out[16:], 2)  // e_type = ET_EXEC
+	le.PutUint16(out[18:], 62) // e_machine = EM_X86_64
+	le.PutUint32(out[20:], 1)  // e_version
+	le.PutUint64(out[24:], entry)
+	le.PutUint64(out[32:], ehSize) // e_phoff
+	le.PutUint64(out[40:], shoff)
+	le.PutUint32(out[48:], 0) // e_flags
+	le.PutUint16(out[52:], ehSize)
+	le.PutUint16(out[54:], phSize)
+	le.PutUint16(out[56:], 1) // e_phnum
+	le.PutUint16(out[58:], shSize)
+	le.PutUint16(out[60:], uint16(shnum))
+	le.PutUint16(out[62:], uint16(shstrndx))
+}
+
+func writeProgramHeader(out []byte, fileSize uint64) {
+	le := binary.LittleEndian
+	le.PutUint32(out[0:], 1) // PT_LOAD
+	le.PutUint32(out[4:], 7) // RWX
+	le.PutUint64(out[8:], 0) // p_offset
+	le.PutUint64(out[16:], baseVaddr)
+	le.PutUint64(out[24:], baseVaddr)
+	le.PutUint64(out[32:], fileSize)
+	le.PutUint64(out[40:], fileSize)
+	le.PutUint64(out[48:], 0x1000)
+}
+
+func writeSectionHeader(out []byte, s *sectionDesc, shstr *strtab) {
+	le := binary.LittleEndian
+	le.PutUint32(out[0:], shstr.add(s.name))
+	le.PutUint32(out[4:], s.shType)
+	le.PutUint64(out[8:], s.flags)
+	le.PutUint64(out[16:], s.vaddr)
+	le.PutUint64(out[24:], s.offset)
+	le.PutUint64(out[32:], s.size)
+	le.PutUint32(out[40:], s.link)
+	le.PutUint32(out[44:], s.info)
+	le.PutUint64(out[48:], s.addralign)
+	le.PutUint64(out[56:], s.entsize)
+}
+
+func align(v, a uint64) uint64 {
+	if a == 0 {
+		return v
+	}
+	return (v + a - 1) &^ (a - 1)
+}

@@ -1,0 +1,275 @@
+package elfgen
+
+import (
+	"bytes"
+	"debug/elf"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// testSpec returns a representative spec with code, strings, symbols and
+// needed libraries.
+func testSpec() *Spec {
+	code := make([]byte, 4096)
+	rng.New(1).Bytes(code)
+	ro := []byte("Usage: tool [options]\x00error: out of memory\x00v1.2.3\x00")
+	data := make([]byte, 128)
+	return &Spec{
+		Text:   code,
+		ROData: ro,
+		Data:   data,
+		Symbols: []Symbol{
+			{Name: "main", Global: true, Type: Func, Section: Text, Value: 0, Size: 64},
+			{Name: "compute_kernel", Global: true, Type: Func, Section: Text, Value: 64, Size: 256},
+			{Name: "internal_helper", Global: false, Type: Func, Section: Text, Value: 320, Size: 32},
+			{Name: "g_config", Global: true, Type: Object, Section: Data, Value: 0, Size: 16},
+			{Name: "version_string", Global: true, Type: Object, Section: ROData, Value: 44, Size: 7},
+			{Name: "local_state", Global: false, Type: Object, Section: Data, Value: 16, Size: 8},
+		},
+		Needed:  []string{"libm.so.6", "libc.so.6", "libmpi.so.40"},
+		Comment: "GCC: (GNU) 10.3.0",
+	}
+}
+
+func buildOrFatal(t *testing.T, spec *Spec) []byte {
+	t.Helper()
+	out, err := Build(spec)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return out
+}
+
+func TestBuildParsesWithDebugELF(t *testing.T) {
+	out := buildOrFatal(t, testSpec())
+	f, err := elf.NewFile(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("debug/elf rejected output: %v", err)
+	}
+	defer f.Close()
+	if f.Class != elf.ELFCLASS64 || f.Machine != elf.EM_X86_64 || f.Type != elf.ET_EXEC {
+		t.Errorf("unexpected header: class=%v machine=%v type=%v", f.Class, f.Machine, f.Type)
+	}
+	for _, name := range []string{".text", ".rodata", ".data", ".symtab", ".strtab", ".dynamic", ".dynstr", ".comment", ".shstrtab"} {
+		if f.Section(name) == nil {
+			t.Errorf("missing section %s", name)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := buildOrFatal(t, testSpec())
+	b := buildOrFatal(t, testSpec())
+	if !bytes.Equal(a, b) {
+		t.Fatal("Build is not deterministic")
+	}
+}
+
+func TestSectionContentsRoundTrip(t *testing.T) {
+	spec := testSpec()
+	out := buildOrFatal(t, spec)
+	f, err := elf.NewFile(bytes.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, c := range []struct {
+		name string
+		want []byte
+	}{
+		{".text", spec.Text},
+		{".rodata", spec.ROData},
+		{".data", spec.Data},
+	} {
+		got, err := f.Section(c.name).Data()
+		if err != nil {
+			t.Fatalf("%s data: %v", c.name, err)
+		}
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("%s content mismatch: got %d bytes, want %d", c.name, len(got), len(c.want))
+		}
+	}
+}
+
+func TestSymbolsRoundTrip(t *testing.T) {
+	spec := testSpec()
+	out := buildOrFatal(t, spec)
+	f, err := elf.NewFile(bytes.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	syms, err := f.Symbols()
+	if err != nil {
+		t.Fatalf("Symbols: %v", err)
+	}
+	byName := map[string]elf.Symbol{}
+	for _, s := range syms {
+		byName[s.Name] = s
+	}
+	if len(byName) != len(spec.Symbols) {
+		t.Fatalf("got %d symbols, want %d", len(byName), len(spec.Symbols))
+	}
+	mainSym, ok := byName["main"]
+	if !ok {
+		t.Fatal("main symbol missing")
+	}
+	if elf.ST_BIND(mainSym.Info) != elf.STB_GLOBAL {
+		t.Errorf("main is not global")
+	}
+	if elf.ST_TYPE(mainSym.Info) != elf.STT_FUNC {
+		t.Errorf("main is not a function")
+	}
+	if mainSym.Size != 64 {
+		t.Errorf("main size = %d, want 64", mainSym.Size)
+	}
+	helper, ok := byName["internal_helper"]
+	if !ok {
+		t.Fatal("internal_helper missing")
+	}
+	if elf.ST_BIND(helper.Info) != elf.STB_LOCAL {
+		t.Errorf("internal_helper is not local")
+	}
+	// Text symbols must resolve into the .text section.
+	text := f.Section(".text")
+	if mainSym.Value < text.Addr || mainSym.Value >= text.Addr+text.Size {
+		t.Errorf("main value %#x outside .text [%#x,%#x)", mainSym.Value, text.Addr, text.Addr+text.Size)
+	}
+	// compute_kernel is 64 bytes into .text.
+	if k := byName["compute_kernel"]; k.Value != text.Addr+64 {
+		t.Errorf("compute_kernel value %#x, want %#x", k.Value, text.Addr+64)
+	}
+}
+
+func TestLocalSymbolsPrecedeGlobals(t *testing.T) {
+	out := buildOrFatal(t, testSpec())
+	f, err := elf.NewFile(bytes.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	syms, err := f.Symbols()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenGlobal := false
+	for _, s := range syms {
+		if elf.ST_BIND(s.Info) == elf.STB_GLOBAL {
+			seenGlobal = true
+		} else if seenGlobal {
+			t.Fatalf("local symbol %q after a global one", s.Name)
+		}
+	}
+}
+
+func TestNeededLibrariesRoundTrip(t *testing.T) {
+	spec := testSpec()
+	out := buildOrFatal(t, spec)
+	f, err := elf.NewFile(bytes.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	libs, err := f.DynString(elf.DT_NEEDED)
+	if err != nil {
+		t.Fatalf("DynString: %v", err)
+	}
+	if len(libs) != len(spec.Needed) {
+		t.Fatalf("got %d needed libs %v, want %d", len(libs), libs, len(spec.Needed))
+	}
+	for i, want := range spec.Needed {
+		if libs[i] != want {
+			t.Errorf("needed[%d] = %q, want %q", i, libs[i], want)
+		}
+	}
+}
+
+func TestStrippedBinaryHasNoSymtab(t *testing.T) {
+	spec := testSpec()
+	spec.Stripped = true
+	out := buildOrFatal(t, spec)
+	f, err := elf.NewFile(bytes.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Section(".symtab") != nil {
+		t.Error("stripped binary still has .symtab")
+	}
+	if _, err := f.Symbols(); err == nil {
+		t.Error("Symbols() succeeded on stripped binary")
+	}
+}
+
+func TestNoNeededOmitsDynamic(t *testing.T) {
+	spec := testSpec()
+	spec.Needed = nil
+	out := buildOrFatal(t, spec)
+	f, err := elf.NewFile(bytes.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Section(".dynamic") != nil {
+		t.Error("static binary has .dynamic section")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"empty text", func(s *Spec) { s.Text = nil }},
+		{"empty symbol name", func(s *Spec) { s.Symbols[0].Name = "" }},
+		{"bad section", func(s *Spec) { s.Symbols[0].Section = ".bogus" }},
+		{"offset beyond section", func(s *Spec) { s.Symbols[0].Value = 1 << 30 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec := testSpec()
+			c.mut(spec)
+			if _, err := Build(spec); err == nil {
+				t.Errorf("Build succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestCommentSectionContent(t *testing.T) {
+	spec := testSpec()
+	out := buildOrFatal(t, spec)
+	f, err := elf.NewFile(bytes.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data, err := f.Section(".comment").Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("GCC: (GNU) 10.3.0")) {
+		t.Errorf(".comment = %q, want toolchain banner", data)
+	}
+}
+
+func TestMinimalSpec(t *testing.T) {
+	out, err := Build(&Spec{Text: []byte{0xc3}})
+	if err != nil {
+		t.Fatalf("minimal Build: %v", err)
+	}
+	if _, err := elf.NewFile(bytes.NewReader(out)); err != nil {
+		t.Fatalf("minimal binary unparseable: %v", err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	spec := testSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

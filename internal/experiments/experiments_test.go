@@ -1,0 +1,376 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallPipeline runs (or fetches the cached) small-scale pipeline.
+func smallPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	p, err := Run(ScaleSmall, DefaultSeed)
+	if err != nil {
+		t.Fatalf("Run(small): %v", err)
+	}
+	return p
+}
+
+func TestPipelineShape(t *testing.T) {
+	p := smallPipeline(t)
+	if len(p.Train) == 0 || len(p.Test) == 0 {
+		t.Fatal("empty train or test split")
+	}
+	if len(p.Predictions) != len(p.Test) {
+		t.Fatalf("%d predictions for %d test samples", len(p.Predictions), len(p.Test))
+	}
+	if p.Report == nil {
+		t.Fatal("pipeline has no report")
+	}
+	if len(p.Split.UnknownClasses) == 0 {
+		t.Fatal("no unknown classes in the paper split")
+	}
+}
+
+func TestPipelineCached(t *testing.T) {
+	a := smallPipeline(t)
+	b := smallPipeline(t)
+	if a != b {
+		t.Fatal("pipeline cache miss for identical scale/seed")
+	}
+}
+
+func TestPipelineQuality(t *testing.T) {
+	// The small corpus is easy; the classifier must do clearly better
+	// than chance on both known classes and unknown detection.
+	p := smallPipeline(t)
+	if p.Report.Macro.F1 < 0.5 {
+		t.Fatalf("small-scale macro f1 = %.3f, want >= 0.5\n%s", p.Report.Macro.F1, p.Report.Format())
+	}
+	unknownRow := p.Report.PerClass["-1"]
+	if unknownRow.Support == 0 {
+		t.Fatal("report has no unknown support")
+	}
+	if unknownRow.F1 == 0 {
+		t.Fatalf("unknown class completely undetected\n%s", p.Report.Format())
+	}
+}
+
+func TestTable1(t *testing.T) {
+	p := smallPipeline(t)
+	tab, err := RunTable1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 3 {
+		t.Fatalf("Table 1 has %d versions, want >= 3 (paper collection rule)", len(tab.Rows))
+	}
+	out := tab.Format()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, tab.Class) {
+		t.Fatalf("Table 1 format wrong:\n%s", out)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	p := smallPipeline(t)
+	tab, err := RunTable2(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.RowA.Version == tab.RowB.Version {
+		t.Fatal("Table 2 compares the same version with itself")
+	}
+	if tab.Similarity <= 0 || tab.Similarity > 100 {
+		t.Fatalf("Table 2 similarity = %d, want (0,100] for two versions of one class", tab.Similarity)
+	}
+	if !strings.Contains(tab.Format(), "Similarity") {
+		t.Fatal("Table 2 format missing similarity row")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	p := smallPipeline(t)
+	tab, err := RunTable3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(p.Split.UnknownClasses) {
+		t.Fatalf("Table 3 has %d rows, split has %d unknown classes", len(tab.Rows), len(p.Split.UnknownClasses))
+	}
+	total := 0
+	for _, r := range tab.Rows {
+		total += r.Count
+	}
+	if total != tab.Total || total != p.Split.NumUnknownTest(p.Samples) {
+		t.Fatalf("Table 3 total %d inconsistent", tab.Total)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	p := smallPipeline(t)
+	tab, err := RunTable4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"micro avg", "macro avg", "weighted avg", "-1"} {
+		if !strings.Contains(tab.Report, want) {
+			t.Fatalf("Table 4 missing %q:\n%s", want, tab.Report)
+		}
+	}
+	if tab.MacroF1 != p.Report.Macro.F1 {
+		t.Fatal("Table 4 headline disagrees with report")
+	}
+}
+
+func TestTable5(t *testing.T) {
+	p := smallPipeline(t)
+	tab, err := RunTable5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("Table 5 has %d rows, want 3", len(tab.Rows))
+	}
+	sum := 0.0
+	for _, r := range tab.Rows {
+		sum += r.Importance
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("Table 5 importances sum to %v", sum)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	p := smallPipeline(t)
+	fig, err := RunFigure2(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 13 { // 10 known + 3 unknown classes at small scale
+		t.Fatalf("Figure 2 has %d classes, want 13", len(fig.Rows))
+	}
+	for i := 1; i < len(fig.Rows); i++ {
+		if fig.Rows[i-1].Count < fig.Rows[i].Count {
+			t.Fatal("Figure 2 not sorted descending")
+		}
+	}
+	if !strings.Contains(fig.Format(), "#") {
+		t.Fatal("Figure 2 has no bars")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	p := smallPipeline(t)
+	fig, err := RunFigure3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) < 5 {
+		t.Fatalf("Figure 3 has %d points, want the sweep", len(fig.Points))
+	}
+	// The sweep must include the chosen threshold.
+	found := false
+	for _, pt := range fig.Points {
+		if pt.Threshold == fig.Chosen {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("chosen threshold %v not on sweep", fig.Chosen)
+	}
+	if !strings.Contains(fig.Format(), "<- chosen") {
+		t.Fatal("Figure 3 format missing chosen marker")
+	}
+}
+
+func TestAblationEditDistance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retrains the classifier three times")
+	}
+	p := smallPipeline(t)
+	ab, err := RunAblationEditDistance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Rows) != 3 {
+		t.Fatalf("A1 has %d rows, want 3", len(ab.Rows))
+	}
+	for _, r := range ab.Rows {
+		if r.Scores.Macro <= 0 {
+			t.Fatalf("distance %s scored zero macro f1", r.Name)
+		}
+	}
+}
+
+func TestAblationNeededLibs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retrains the classifier twice")
+	}
+	p := smallPipeline(t)
+	ab, err := RunAblationNeededLibs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Rows) != 2 {
+		t.Fatalf("A2 has %d rows, want 2", len(ab.Rows))
+	}
+	if ab.NeededImportance < 0 || ab.NeededImportance > 1 {
+		t.Fatalf("needed importance = %v", ab.NeededImportance)
+	}
+}
+
+func TestAblationModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several models")
+	}
+	p := smallPipeline(t)
+	ab, err := RunAblationModels(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Rows) != 5 {
+		t.Fatalf("A3 has %d rows, want 5 (rf, knn, svm, crypto, name)", len(ab.Rows))
+	}
+	byName := map[string]ModelScores{}
+	for _, r := range ab.Rows {
+		byName[r.Name] = r
+	}
+	rfRow := byName["random-forest (paper)"]
+	crypto := byName["crypto-hash exact match"]
+	// The paper's core claim: fuzzy hashing generalises across versions,
+	// exact hashing does not.
+	if rfRow.Scores.Macro <= crypto.Scores.Macro {
+		t.Fatalf("random forest (%.3f) did not beat crypto-hash baseline (%.3f)",
+			rfRow.Scores.Macro, crypto.Scores.Macro)
+	}
+}
+
+func TestAblationStripped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the corpus")
+	}
+	p := smallPipeline(t)
+	ab, err := RunAblationStripped(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.StrippedTotal == 0 {
+		t.Fatal("A4 found no stripped samples at 30% strip rate")
+	}
+	if ab.CorrectStripped+ab.UnknownStripped > ab.StrippedTotal {
+		t.Fatal("A4 counts inconsistent")
+	}
+	if !strings.Contains(ab.Format(), "stripped") {
+		t.Fatal("A4 format wrong")
+	}
+}
+
+func TestAblationDynamic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains three forests")
+	}
+	p := smallPipeline(t)
+	ab, err := RunAblationDynamic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Rows) != 3 {
+		t.Fatalf("A5 has %d rows, want 3", len(ab.Rows))
+	}
+	static := ab.Rows[0].Scores
+	combined := ab.Rows[2].Scores
+	// The combined model must not be materially worse than static alone
+	// (the paper's complementarity hypothesis).
+	if combined.Macro < static.Macro-0.10 {
+		t.Fatalf("combined macro %.3f much worse than static %.3f", combined.Macro, static.Macro)
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline per seed")
+	}
+	s, err := RunSeedSensitivity(ScaleSmall, []uint64{DefaultSeed, DefaultSeed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("A6 has %d rows, want 2", len(s.Rows))
+	}
+	if s.Min.Macro > s.Mean.Macro || s.Mean.Macro > s.Max.Macro {
+		t.Fatalf("aggregate ordering broken: %+v", s)
+	}
+	if !strings.Contains(s.Format(), "mean") {
+		t.Fatal("A6 format missing aggregates")
+	}
+}
+
+func TestConfusionPairs(t *testing.T) {
+	p := smallPipeline(t)
+	c, err := RunConfusionPairs(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rows) > 5 {
+		t.Fatalf("topN not honoured: %d rows", len(c.Rows))
+	}
+	for i := 1; i < len(c.Rows); i++ {
+		if c.Rows[i-1].Count < c.Rows[i].Count {
+			t.Fatal("confusion pairs not sorted by count")
+		}
+	}
+	for _, r := range c.Rows {
+		if r.True == r.Predicted {
+			t.Fatal("diagonal cell reported as confusion")
+		}
+	}
+}
+
+// TestPaperShapeAtMediumScale guards the reproduction's core claims on a
+// quarter-size corpus: headline f1 in the paper's region, the symbol
+// feature dominant, and the unknown class detected with high precision.
+// The full-size numbers live in EXPERIMENTS.md.
+func TestPaperShapeAtMediumScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale pipeline")
+	}
+	p, err := Run(ScaleMedium, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Report.Macro.F1 < 0.75 {
+		t.Fatalf("medium-scale macro f1 = %.3f, want >= 0.75\n%s",
+			p.Report.Macro.F1, p.Report.Format())
+	}
+	if p.Report.Micro.F1 < 0.75 {
+		t.Fatalf("medium-scale micro f1 = %.3f, want >= 0.75", p.Report.Micro.F1)
+	}
+	// Table 5 shape: symbols must dominate both other features.
+	imp := p.Classifier.FeatureImportance()
+	sym := imp["ssdeep-symbols"]
+	if sym <= imp["ssdeep-file"] || sym <= imp["ssdeep-strings"] {
+		t.Fatalf("symbol importance not dominant: %v", imp)
+	}
+	if sym < 0.4 {
+		t.Fatalf("symbol importance %.3f too weak for the Table 5 shape", sym)
+	}
+	// The unknown class must be usable: f1 well above zero.
+	unknown := p.Report.PerClass["-1"]
+	if unknown.F1 < 0.5 {
+		t.Fatalf("unknown-class f1 = %.3f\n%s", unknown.F1, p.Report.Format())
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for name, want := range map[string]Scale{"small": ScaleSmall, "medium": ScaleMedium, "paper": ScalePaper} {
+		got, err := ParseScale(name)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Errorf("Scale.String() = %q, want %q", got.String(), name)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("ParseScale accepted bogus scale")
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+)
+
+// Figure2 reproduces the paper's Figure 2: the number of samples per
+// application class on a logarithmic scale.
+type Figure2 struct {
+	Rows []dataset.ClassCount
+}
+
+// RunFigure2 computes the class-size distribution of the corpus.
+func RunFigure2(p *Pipeline) (*Figure2, error) {
+	stats := dataset.ComputeStats(p.Samples)
+	return &Figure2{Rows: stats.Counts}, nil
+}
+
+// Format renders the series as a log-scale ASCII bar chart, the paper's
+// presentation of its class imbalance.
+func (f *Figure2) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: Number of samples for %d application classes (log scale)\n", len(f.Rows))
+	const width = 50
+	maxLog := 0.0
+	for _, r := range f.Rows {
+		if l := math.Log10(float64(r.Count)); l > maxLog {
+			maxLog = l
+		}
+	}
+	if maxLog == 0 {
+		maxLog = 1
+	}
+	for _, r := range f.Rows {
+		bar := int(math.Log10(float64(r.Count)+1) / (maxLog + 1e-9) * width)
+		if bar < 1 {
+			bar = 1
+		}
+		if bar > width {
+			bar = width
+		}
+		fmt.Fprintf(&b, "%-20s %5d |%s\n", r.Class, r.Count, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// Figure3 reproduces the paper's Figure 3: micro, macro and weighted
+// f1-score as a function of the confidence threshold, measured during the
+// grid search inside the training set.
+type Figure3 struct {
+	// Points is the sweep, ascending by threshold.
+	Points []Figure3Point
+	// Chosen is the threshold the tuning selected.
+	Chosen float64
+}
+
+// Figure3Point is one sweep position.
+type Figure3Point struct {
+	Threshold float64
+	Scores    ml.F1Scores
+}
+
+// RunFigure3 extracts the recorded tuning curve.
+func RunFigure3(p *Pipeline) (*Figure3, error) {
+	curve := p.Classifier.TuningCurve()
+	if len(curve) == 0 {
+		return nil, fmt.Errorf("experiments: classifier has no tuning curve (threshold was fixed)")
+	}
+	f := &Figure3{Chosen: p.Classifier.Threshold()}
+	for _, pt := range curve {
+		f.Points = append(f.Points, Figure3Point{Threshold: pt.Threshold, Scores: pt.Scores})
+	}
+	return f, nil
+}
+
+// Format renders the sweep as a table plus marker for the chosen point.
+func (f *Figure3) Format() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 3: f1-score over confidence threshold (grid search within training set)")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s\n", "threshold", "micro", "macro", "weighted")
+	for _, p := range f.Points {
+		marker := ""
+		if p.Threshold == f.Chosen {
+			marker = "  <- chosen"
+		}
+		fmt.Fprintf(&b, "%-10.2f %8.3f %8.3f %8.3f%s\n",
+			p.Threshold, p.Scores.Micro, p.Scores.Macro, p.Scores.Weighted, marker)
+	}
+	return b.String()
+}

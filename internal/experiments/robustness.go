@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ml"
+)
+
+// SeedSensitivity (A6) measures how stable the headline scores are across
+// corpus realisations: the whole pipeline — corpus, split, tuning,
+// training — is repeated under different seeds. A reproduction whose
+// conclusions only hold for one lucky seed would be worthless; this
+// experiment quantifies the spread.
+type SeedSensitivity struct {
+	// Rows holds one entry per seed.
+	Rows []SeedScores
+	// Mean, Min and Max aggregate the rows.
+	Mean, Min, Max ml.F1Scores
+}
+
+// SeedScores is the outcome of one seeded run.
+type SeedScores struct {
+	Seed   uint64
+	Scores ml.F1Scores
+}
+
+// RunSeedSensitivity executes the pipeline once per seed at the given
+// scale.
+func RunSeedSensitivity(scale Scale, seeds []uint64) (*SeedSensitivity, error) {
+	if len(seeds) == 0 {
+		seeds = []uint64{DefaultSeed, DefaultSeed + 1, DefaultSeed + 2}
+	}
+	out := &SeedSensitivity{
+		Min: ml.F1Scores{Micro: 1, Macro: 1, Weighted: 1},
+	}
+	for _, seed := range seeds {
+		p, err := Run(scale, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		s := p.Report.Scores()
+		out.Rows = append(out.Rows, SeedScores{Seed: seed, Scores: s})
+		out.Mean.Micro += s.Micro
+		out.Mean.Macro += s.Macro
+		out.Mean.Weighted += s.Weighted
+		out.Min = ml.F1Scores{
+			Micro:    minF(out.Min.Micro, s.Micro),
+			Macro:    minF(out.Min.Macro, s.Macro),
+			Weighted: minF(out.Min.Weighted, s.Weighted),
+		}
+		out.Max = ml.F1Scores{
+			Micro:    maxF(out.Max.Micro, s.Micro),
+			Macro:    maxF(out.Max.Macro, s.Macro),
+			Weighted: maxF(out.Max.Weighted, s.Weighted),
+		}
+	}
+	n := float64(len(out.Rows))
+	out.Mean.Micro /= n
+	out.Mean.Macro /= n
+	out.Mean.Weighted /= n
+	return out, nil
+}
+
+// Format renders the study.
+func (s *SeedSensitivity) Format() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation A6: seed sensitivity of the end-to-end pipeline")
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s\n", "seed", "micro", "macro", "weighted")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-12d %8.3f %8.3f %8.3f\n", r.Seed, r.Scores.Micro, r.Scores.Macro, r.Scores.Weighted)
+	}
+	fmt.Fprintf(&b, "%-12s %8.3f %8.3f %8.3f\n", "mean", s.Mean.Micro, s.Mean.Macro, s.Mean.Weighted)
+	fmt.Fprintf(&b, "%-12s %8.3f %8.3f %8.3f\n", "min", s.Min.Micro, s.Min.Macro, s.Min.Weighted)
+	fmt.Fprintf(&b, "%-12s %8.3f %8.3f %8.3f\n", "max", s.Max.Micro, s.Max.Macro, s.Max.Weighted)
+	return b.String()
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ConfusionPair is one off-diagonal confusion-matrix cell.
+type ConfusionPair struct {
+	True, Predicted string
+	Count           int
+}
+
+// ConfusionPairs lists the heaviest misclassification pairs of the
+// test-set evaluation; this is where the paper's Augustus/AUGUSTUS and
+// CellRanger/Cell-Ranger discussions become visible.
+type ConfusionPairs struct {
+	Rows []ConfusionPair
+}
+
+// RunConfusionPairs extracts the topN off-diagonal confusion cells.
+func RunConfusionPairs(p *Pipeline, topN int) (*ConfusionPairs, error) {
+	if topN <= 0 {
+		topN = 10
+	}
+	yPred := make([]string, len(p.Predictions))
+	for i := range p.Predictions {
+		yPred[i] = p.Predictions[i].Label
+	}
+	yTrue := p.Classifier.GroundTruth(p.Test)
+	labels, m, err := ml.ConfusionMatrix(yTrue, yPred)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ConfusionPair
+	for i := range m {
+		for j := range m[i] {
+			if i != j && m[i][j] > 0 {
+				rows = append(rows, ConfusionPair{True: labels[i], Predicted: labels[j], Count: m[i][j]})
+			}
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].Count != rows[b].Count {
+			return rows[a].Count > rows[b].Count
+		}
+		if rows[a].True != rows[b].True {
+			return rows[a].True < rows[b].True
+		}
+		return rows[a].Predicted < rows[b].Predicted
+	})
+	if len(rows) > topN {
+		rows = rows[:topN]
+	}
+	return &ConfusionPairs{Rows: rows}, nil
+}
+
+// Format renders the pairs.
+func (c *ConfusionPairs) Format() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Top misclassification pairs (true -> predicted)")
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "%-20s -> %-20s %d\n", r.True, r.Predicted, r.Count)
+	}
+	if len(c.Rows) == 0 {
+		fmt.Fprintln(&b, "(no confusions)")
+	}
+	return b.String()
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/ssdeep"
+)
+
+// Table1 reproduces the paper's Table 1: the versions and executables of
+// the Velvet application class.
+type Table1 struct {
+	// Class is the inventoried class (Velvet at paper scale).
+	Class string
+	// Rows maps each version to its executables.
+	Rows []Table1Row
+}
+
+// Table1Row is one version of the class.
+type Table1Row struct {
+	Version string
+	Samples []string
+}
+
+// RunTable1 builds the class inventory table.
+func RunTable1(p *Pipeline) (*Table1, error) {
+	class := "Velvet"
+	if !hasClass(p.Samples, class) {
+		class = p.Samples[0].Class
+	}
+	byVersion := map[string][]string{}
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		if s.Class == class {
+			byVersion[s.Version] = append(byVersion[s.Version], s.Exe)
+		}
+	}
+	t := &Table1{Class: class}
+	versions := make([]string, 0, len(byVersion))
+	for v := range byVersion {
+		versions = append(versions, v)
+	}
+	sort.Strings(versions)
+	for _, v := range versions {
+		exes := byVersion[v]
+		sort.Strings(exes)
+		t.Rows = append(t.Rows, Table1Row{Version: v, Samples: exes})
+	}
+	if len(t.Rows) == 0 {
+		return nil, fmt.Errorf("experiments: class %s not found for Table 1", class)
+	}
+	return t, nil
+}
+
+// Format renders the table in the paper's layout.
+func (t *Table1) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Versions and Executables for the %s Application\n", t.Class)
+	fmt.Fprintf(&b, "%-12s %-34s %s\n", "Class", "Application Version", "Samples")
+	for i, r := range t.Rows {
+		class := ""
+		if i == 0 {
+			class = t.Class
+		}
+		fmt.Fprintf(&b, "%-12s %-34s %s\n", class, r.Version, strings.Join(r.Samples, ", "))
+	}
+	return b.String()
+}
+
+// Table2 reproduces the paper's Table 2: the fuzzy hashes of the symbol
+// feature for two versions of one class, and their similarity.
+type Table2 struct {
+	Class      string
+	RowA, RowB Table2Row
+	Similarity int
+}
+
+// Table2Row is one compared sample.
+type Table2Row struct {
+	Version string
+	Digest  string
+}
+
+// RunTable2 compares the symbol digests of two versions of OpenMalaria
+// (or, off paper scale, the first class with two versions).
+func RunTable2(p *Pipeline) (*Table2, error) {
+	class := "OpenMalaria"
+	if !hasClass(p.Samples, class) {
+		class = p.Samples[0].Class
+	}
+	var a, b *dataset.Sample
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		if s.Class != class || s.Digests[dataset.FeatureSymbols].IsZero() {
+			continue
+		}
+		switch {
+		case a == nil:
+			a = s
+		case s.Version != a.Version && b == nil:
+			b = s
+		}
+	}
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("experiments: class %s lacks two hashable versions for Table 2", class)
+	}
+	da, db := a.Digests[dataset.FeatureSymbols], b.Digests[dataset.FeatureSymbols]
+	return &Table2{
+		Class:      class,
+		RowA:       Table2Row{Version: a.Version, Digest: da.String()},
+		RowB:       Table2Row{Version: b.Version, Digest: db.String()},
+		Similarity: ssdeep.Compare(da, db),
+	}, nil
+}
+
+// Format renders the table in the paper's layout.
+func (t *Table2) Format() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 2: Hash Similarity Example")
+	fmt.Fprintf(&b, "%-14s %-22s %s\n", "Class", "Version", "Fuzzy Hash of Symbols")
+	fmt.Fprintf(&b, "%-14s %-22s %s\n", t.Class, t.RowA.Version, t.RowA.Digest)
+	fmt.Fprintf(&b, "%-14s %-22s %s\n", t.Class, t.RowB.Version, t.RowB.Digest)
+	fmt.Fprintf(&b, "Similarity: %d\n", t.Similarity)
+	return b.String()
+}
+
+// Table3 reproduces the paper's Table 3: the classes assigned to the
+// unknown split and their sample counts.
+type Table3 struct {
+	Rows  []dataset.ClassCount
+	Total int
+}
+
+// RunTable3 lists the unknown classes of the split.
+func RunTable3(p *Pipeline) (*Table3, error) {
+	unknown := map[string]bool{}
+	for _, c := range p.Split.UnknownClasses {
+		unknown[c] = true
+	}
+	counts := map[string]int{}
+	for i := range p.Samples {
+		if unknown[p.Samples[i].Class] {
+			counts[p.Samples[i].Class]++
+		}
+	}
+	t := &Table3{}
+	for c, n := range counts {
+		t.Rows = append(t.Rows, dataset.ClassCount{Class: c, Count: n})
+		t.Total += n
+	}
+	sort.Slice(t.Rows, func(i, j int) bool {
+		if t.Rows[i].Count != t.Rows[j].Count {
+			return t.Rows[i].Count > t.Rows[j].Count
+		}
+		return t.Rows[i].Class < t.Rows[j].Class
+	})
+	if len(t.Rows) == 0 {
+		return nil, fmt.Errorf("experiments: split has no unknown classes")
+	}
+	return t, nil
+}
+
+// Format renders the table in the paper's layout.
+func (t *Table3) Format() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 3: Class of Unknown Samples")
+	fmt.Fprintf(&b, "%-20s %s\n", "Application Class", "Sample Count")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-20s %d\n", r.Class, r.Count)
+	}
+	fmt.Fprintf(&b, "%-20s %d\n", "total", t.Total)
+	return b.String()
+}
+
+// Table4 reproduces the paper's Table 4: the per-class classification
+// report with micro/macro/weighted averages.
+type Table4 struct {
+	Report string
+	// Headline metrics for EXPERIMENTS.md.
+	MicroF1, MacroF1, WeightedF1 float64
+}
+
+// RunTable4 renders the test-set classification report.
+func RunTable4(p *Pipeline) (*Table4, error) {
+	return &Table4{
+		Report:     p.Report.Format(),
+		MicroF1:    p.Report.Micro.F1,
+		MacroF1:    p.Report.Macro.F1,
+		WeightedF1: p.Report.Weighted.F1,
+	}, nil
+}
+
+// Format renders the table.
+func (t *Table4) Format() string {
+	return "Table 4: Classification Report\n" + t.Report
+}
+
+// Table5 reproduces the paper's Table 5: normalised feature importance.
+type Table5 struct {
+	Rows []Table5Row
+}
+
+// Table5Row is one feature's importance.
+type Table5Row struct {
+	Feature    string
+	Importance float64
+}
+
+// RunTable5 aggregates Random Forest importances per fuzzy-hash feature.
+func RunTable5(p *Pipeline) (*Table5, error) {
+	imp := p.Classifier.FeatureImportance()
+	t := &Table5{}
+	// Present in the paper's order.
+	for _, kind := range []dataset.FeatureKind{dataset.FeatureFile, dataset.FeatureStrings, dataset.FeatureSymbols, dataset.FeatureNeeded} {
+		if v, ok := imp[kind.String()]; ok {
+			t.Rows = append(t.Rows, Table5Row{Feature: kind.String(), Importance: v})
+		}
+	}
+	return t, nil
+}
+
+// Format renders the table in the paper's layout.
+func (t *Table5) Format() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 5: Feature Importance (normalized)")
+	fmt.Fprintf(&b, "%-16s %s\n", "Features", "Importance")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-16s %.4f\n", r.Feature, r.Importance)
+	}
+	return b.String()
+}
+
+func hasClass(samples []dataset.Sample, class string) bool {
+	for i := range samples {
+		if samples[i].Class == class {
+			return true
+		}
+	}
+	return false
+}

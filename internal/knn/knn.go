@@ -1,0 +1,129 @@
+// Package knn implements a K-nearest-neighbour classifier over the fuzzy
+// hash similarity feature matrix. The paper names KNN as a future-work
+// comparison model; the model-comparison ablation trains it on exactly the
+// features the Random Forest sees.
+package knn
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Params configures the classifier.
+type Params struct {
+	// K is the neighbourhood size; default 5.
+	K int
+	// Weighted votes neighbours by inverse distance instead of uniformly.
+	Weighted bool
+}
+
+// Classifier is a fitted KNN model (it memorises the training set).
+type Classifier struct {
+	x          [][]float64
+	y          []int
+	numClasses int
+	p          Params
+}
+
+// Train validates and stores the training data.
+func Train(X [][]float64, y []int, numClasses int, p Params) (*Classifier, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("knn: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("knn: %d rows but %d labels", len(X), len(y))
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("knn: need at least 2 classes")
+	}
+	for i, label := range y {
+		if label < 0 || label >= numClasses {
+			return nil, fmt.Errorf("knn: label %d of sample %d out of range", label, i)
+		}
+	}
+	if p.K <= 0 {
+		p.K = 5
+	}
+	if p.K > len(X) {
+		p.K = len(X)
+	}
+	return &Classifier{x: X, y: y, numClasses: numClasses, p: p}, nil
+}
+
+// PredictProba returns the class vote distribution for one sample.
+func (c *Classifier) PredictProba(x []float64) []float64 {
+	type neighbour struct {
+		dist float64
+		y    int
+	}
+	nbs := make([]neighbour, len(c.x))
+	for i := range c.x {
+		nbs[i] = neighbour{dist: euclidean(x, c.x[i]), y: c.y[i]}
+	}
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i].dist < nbs[j].dist })
+	proba := make([]float64, c.numClasses)
+	total := 0.0
+	for _, nb := range nbs[:c.p.K] {
+		w := 1.0
+		if c.p.Weighted {
+			w = 1 / (nb.dist + 1e-9)
+		}
+		proba[nb.y] += w
+		total += w
+	}
+	if total > 0 {
+		for i := range proba {
+			proba[i] /= total
+		}
+	}
+	return proba
+}
+
+// Predict returns the majority class among the K nearest neighbours.
+func (c *Classifier) Predict(x []float64) int {
+	proba := c.PredictProba(x)
+	best, bestP := 0, -1.0
+	for cl, p := range proba {
+		if p > bestP {
+			best, bestP = cl, p
+		}
+	}
+	return best
+}
+
+// PredictProbaBatch predicts many samples with a bounded worker pool.
+func (c *Classifier) PredictProbaBatch(X [][]float64, workers int) [][]float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]float64, len(X))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = c.PredictProba(X[i])
+			}
+		}()
+	}
+	for i := range X {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+func euclidean(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

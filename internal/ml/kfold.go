@@ -1,0 +1,65 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// StratifiedKFold partitions sample indices into k folds whose class
+// proportions mirror the full set. Folds can serve as cross-validation
+// splits for hyper-parameter selection beyond the paper's single inner
+// split.
+func StratifiedKFold(samples []dataset.Sample, k int, seed uint64) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ml: need k >= 2 folds, got %d", k)
+	}
+	if len(samples) < k {
+		return nil, fmt.Errorf("ml: %d samples cannot fill %d folds", len(samples), k)
+	}
+	byClass := map[string][]int{}
+	for i := range samples {
+		byClass[samples[i].Class] = append(byClass[samples[i].Class], i)
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+
+	folds := make([][]int, k)
+	// Per-class round-robin with a rotating start keeps fold sizes even
+	// when many classes are smaller than k.
+	next := 0
+	for _, c := range classes {
+		idx := byClass[c]
+		src := rng.New(seed).Child("kfold:" + c)
+		src.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, sampleIdx := range idx {
+			folds[next%k] = append(folds[next%k], sampleIdx)
+			next++
+		}
+	}
+	for i := range folds {
+		sort.Ints(folds[i])
+	}
+	return folds, nil
+}
+
+// FoldSplit returns the train/test index sets for using fold f as the
+// held-out part.
+func FoldSplit(folds [][]int, f int) (train, test []int, err error) {
+	if f < 0 || f >= len(folds) {
+		return nil, nil, fmt.Errorf("ml: fold %d out of range [0,%d)", f, len(folds))
+	}
+	test = append([]int(nil), folds[f]...)
+	for i, fold := range folds {
+		if i != f {
+			train = append(train, fold...)
+		}
+	}
+	sort.Ints(train)
+	return train, test, nil
+}

@@ -1,0 +1,163 @@
+package ml
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStratifiedKFoldPartition(t *testing.T) {
+	samples := mkSamples(map[string]int{"A": 10, "B": 20, "C": 5}, nil)
+	folds, err := StratifiedKFold(samples, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, fold := range folds {
+		for _, i := range fold {
+			if seen[i] {
+				t.Fatalf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(samples) {
+		t.Fatalf("folds cover %d of %d samples", len(seen), len(samples))
+	}
+	// Fold sizes within 1 of each other times class remainder slack.
+	minSize, maxSize := len(samples), 0
+	for _, fold := range folds {
+		if len(fold) < minSize {
+			minSize = len(fold)
+		}
+		if len(fold) > maxSize {
+			maxSize = len(fold)
+		}
+	}
+	if maxSize-minSize > 1 {
+		t.Fatalf("fold sizes uneven: %d..%d", minSize, maxSize)
+	}
+}
+
+func TestStratifiedKFoldClassBalance(t *testing.T) {
+	samples := mkSamples(map[string]int{"A": 50, "B": 25}, nil)
+	folds, err := StratifiedKFold(samples, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, fold := range folds {
+		counts := map[string]int{}
+		for _, i := range fold {
+			counts[samples[i].Class]++
+		}
+		// Expect ~10 A and ~5 B per fold; allow 1 of slack from the
+		// round-robin carry-over.
+		if counts["A"] < 9 || counts["A"] > 11 || counts["B"] < 4 || counts["B"] > 6 {
+			t.Fatalf("fold %d class balance off: %v", fi, counts)
+		}
+	}
+}
+
+func TestStratifiedKFoldDeterministic(t *testing.T) {
+	samples := mkSamples(map[string]int{"A": 12, "B": 12}, nil)
+	a, err := StratifiedKFold(samples, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StratifiedKFold(samples, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("same seed produced different folds")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed produced different folds")
+			}
+		}
+	}
+}
+
+func TestStratifiedKFoldValidation(t *testing.T) {
+	samples := mkSamples(map[string]int{"A": 3}, nil)
+	if _, err := StratifiedKFold(samples, 1, 0); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := StratifiedKFold(samples, 10, 0); err == nil {
+		t.Error("more folds than samples accepted")
+	}
+}
+
+func TestFoldSplit(t *testing.T) {
+	samples := mkSamples(map[string]int{"A": 9, "B": 9}, nil)
+	folds, err := StratifiedKFold(samples, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := FoldSplit(folds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train)+len(test) != len(samples) {
+		t.Fatalf("split sizes %d+%d != %d", len(train), len(test), len(samples))
+	}
+	inTest := map[int]bool{}
+	for _, i := range test {
+		inTest[i] = true
+	}
+	for _, i := range train {
+		if inTest[i] {
+			t.Fatalf("index %d in both train and test", i)
+		}
+	}
+	if _, _, err := FoldSplit(folds, 9); err == nil {
+		t.Error("out-of-range fold accepted")
+	}
+}
+
+// Property: for random class layouts, the folds always partition.
+func TestKFoldPartitionProperty(t *testing.T) {
+	f := func(sizes []uint8, seed uint64) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 8 {
+			sizes = sizes[:8]
+		}
+		counts := map[string]int{}
+		total := 0
+		for i, s := range sizes {
+			n := int(s%7) + 1
+			counts[string(rune('A'+i))] = n
+			total += n
+		}
+		samples := mkSamples(counts, nil)
+		k := 3
+		if total < k {
+			return true
+		}
+		folds, err := StratifiedKFold(samples, k, seed)
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		n := 0
+		for _, fold := range folds {
+			for _, i := range fold {
+				if seen[i] {
+					return false
+				}
+				seen[i] = true
+				n++
+			}
+		}
+		return n == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ClassMetrics holds per-class evaluation results.
+type ClassMetrics struct {
+	// Precision is TP / (TP + FP); 0 when the class was never predicted.
+	Precision float64
+	// Recall is TP / (TP + FN); 0 when the class has no true samples.
+	Recall float64
+	// F1 is the harmonic mean of precision and recall (the paper's Eq. 2).
+	F1 float64
+	// Support is the number of true samples of the class.
+	Support int
+}
+
+// Averages holds micro-, macro- or weighted-averaged metrics.
+type Averages struct {
+	Precision, Recall, F1 float64
+}
+
+// Report is a multi-class classification report in the structure of the
+// paper's Table 4 (sklearn's classification_report).
+type Report struct {
+	// Labels lists the report rows in sorted order.
+	Labels []string
+	// PerClass maps each label to its metrics.
+	PerClass map[string]ClassMetrics
+	// Micro aggregates over all samples; in single-label multi-class
+	// classification its precision, recall and f1 all equal the accuracy,
+	// as the paper notes under Table 4.
+	Micro Averages
+	// Macro is the unweighted mean over classes.
+	Macro Averages
+	// Weighted is the support-weighted mean over classes.
+	Weighted Averages
+	// Accuracy is the fraction of correct predictions.
+	Accuracy float64
+	// TotalSupport is the evaluated sample count.
+	TotalSupport int
+}
+
+// ClassificationReport evaluates predictions against true labels. Labels
+// appearing in either slice get a row, matching sklearn's behaviour.
+func ClassificationReport(yTrue, yPred []string) (*Report, error) {
+	if len(yTrue) != len(yPred) {
+		return nil, fmt.Errorf("ml: yTrue has %d labels, yPred has %d", len(yTrue), len(yPred))
+	}
+	if len(yTrue) == 0 {
+		return nil, fmt.Errorf("ml: empty evaluation set")
+	}
+	labelSet := map[string]bool{}
+	for _, l := range yTrue {
+		labelSet[l] = true
+	}
+	for _, l := range yPred {
+		labelSet[l] = true
+	}
+	labels := make([]string, 0, len(labelSet))
+	for l := range labelSet {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	tp := map[string]int{}
+	fp := map[string]int{}
+	fn := map[string]int{}
+	support := map[string]int{}
+	correct := 0
+	for i := range yTrue {
+		support[yTrue[i]]++
+		if yTrue[i] == yPred[i] {
+			tp[yTrue[i]]++
+			correct++
+		} else {
+			fp[yPred[i]]++
+			fn[yTrue[i]]++
+		}
+	}
+
+	r := &Report{
+		Labels:       labels,
+		PerClass:     make(map[string]ClassMetrics, len(labels)),
+		Accuracy:     float64(correct) / float64(len(yTrue)),
+		TotalSupport: len(yTrue),
+	}
+	var macro, weighted Averages
+	for _, l := range labels {
+		m := ClassMetrics{Support: support[l]}
+		if denom := tp[l] + fp[l]; denom > 0 {
+			m.Precision = float64(tp[l]) / float64(denom)
+		}
+		if denom := tp[l] + fn[l]; denom > 0 {
+			m.Recall = float64(tp[l]) / float64(denom)
+		}
+		if m.Precision+m.Recall > 0 {
+			m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		}
+		r.PerClass[l] = m
+		macro.Precision += m.Precision
+		macro.Recall += m.Recall
+		macro.F1 += m.F1
+		w := float64(m.Support)
+		weighted.Precision += w * m.Precision
+		weighted.Recall += w * m.Recall
+		weighted.F1 += w * m.F1
+	}
+	n := float64(len(labels))
+	r.Macro = Averages{macro.Precision / n, macro.Recall / n, macro.F1 / n}
+	total := float64(len(yTrue))
+	r.Weighted = Averages{weighted.Precision / total, weighted.Recall / total, weighted.F1 / total}
+	// Micro-averaged precision == recall == f1 == accuracy for
+	// single-label multi-class problems.
+	r.Micro = Averages{r.Accuracy, r.Accuracy, r.Accuracy}
+	return r, nil
+}
+
+// Format renders the report as a text table shaped like the paper's
+// Table 4 (sklearn classification_report format).
+func (r *Report) Format() string {
+	var b strings.Builder
+	nameWidth := len("weighted avg")
+	for _, l := range r.Labels {
+		if len(l) > nameWidth {
+			nameWidth = len(l)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %9s %9s %9s %9s\n", nameWidth, "", "precision", "recall", "f1-score", "support")
+	fmt.Fprintln(&b)
+	for _, l := range r.Labels {
+		m := r.PerClass[l]
+		fmt.Fprintf(&b, "%-*s  %9.2f %9.2f %9.2f %9d\n", nameWidth, l, m.Precision, m.Recall, m.F1, m.Support)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "%-*s  %9.2f %9.2f %9.2f %9d\n", nameWidth, "micro avg", r.Micro.Precision, r.Micro.Recall, r.Micro.F1, r.TotalSupport)
+	fmt.Fprintf(&b, "%-*s  %9.2f %9.2f %9.2f %9d\n", nameWidth, "macro avg", r.Macro.Precision, r.Macro.Recall, r.Macro.F1, r.TotalSupport)
+	fmt.Fprintf(&b, "%-*s  %9.2f %9.2f %9.2f %9d\n", nameWidth, "weighted avg", r.Weighted.Precision, r.Weighted.Recall, r.Weighted.F1, r.TotalSupport)
+	return b.String()
+}
+
+// CSV renders the report as comma-separated values with a header row;
+// class labels are quoted since application names may contain commas.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString("label,precision,recall,f1,support\n")
+	row := func(label string, p, rec, f1 float64, support int) {
+		fmt.Fprintf(&b, "%q,%.4f,%.4f,%.4f,%d\n", label, p, rec, f1, support)
+	}
+	for _, l := range r.Labels {
+		m := r.PerClass[l]
+		row(l, m.Precision, m.Recall, m.F1, m.Support)
+	}
+	row("micro avg", r.Micro.Precision, r.Micro.Recall, r.Micro.F1, r.TotalSupport)
+	row("macro avg", r.Macro.Precision, r.Macro.Recall, r.Macro.F1, r.TotalSupport)
+	row("weighted avg", r.Weighted.Precision, r.Weighted.Recall, r.Weighted.F1, r.TotalSupport)
+	return b.String()
+}
+
+// Markdown renders the report as a GitHub-flavoured markdown table.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| label | precision | recall | f1-score | support |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	row := func(label string, p, rec, f1 float64, support int) {
+		fmt.Fprintf(&b, "| %s | %.2f | %.2f | %.2f | %d |\n", label, p, rec, f1, support)
+	}
+	for _, l := range r.Labels {
+		m := r.PerClass[l]
+		row(l, m.Precision, m.Recall, m.F1, m.Support)
+	}
+	row("**micro avg**", r.Micro.Precision, r.Micro.Recall, r.Micro.F1, r.TotalSupport)
+	row("**macro avg**", r.Macro.Precision, r.Macro.Recall, r.Macro.F1, r.TotalSupport)
+	row("**weighted avg**", r.Weighted.Precision, r.Weighted.Recall, r.Weighted.F1, r.TotalSupport)
+	return b.String()
+}
+
+// ConfusionMatrix returns the sorted union of labels and the matrix m
+// where m[i][j] counts samples with true label i predicted as label j.
+func ConfusionMatrix(yTrue, yPred []string) ([]string, [][]int, error) {
+	if len(yTrue) != len(yPred) {
+		return nil, nil, fmt.Errorf("ml: yTrue has %d labels, yPred has %d", len(yTrue), len(yPred))
+	}
+	labelSet := map[string]bool{}
+	for _, l := range yTrue {
+		labelSet[l] = true
+	}
+	for _, l := range yPred {
+		labelSet[l] = true
+	}
+	labels := make([]string, 0, len(labelSet))
+	for l := range labelSet {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	idx := map[string]int{}
+	for i, l := range labels {
+		idx[l] = i
+	}
+	m := make([][]int, len(labels))
+	for i := range m {
+		m[i] = make([]int, len(labels))
+	}
+	for i := range yTrue {
+		m[idx[yTrue[i]]][idx[yPred[i]]]++
+	}
+	return labels, m, nil
+}
+
+// F1Scores bundles the three averaged f1 values the paper tracks across
+// confidence thresholds (Figure 3).
+type F1Scores struct {
+	Micro, Macro, Weighted float64
+}
+
+// Combined returns the sum the paper maximises when tuning the confidence
+// threshold ("the confidence threshold that maximizes the combined micro,
+// macro, and weighted f1-scores").
+func (f F1Scores) Combined() float64 {
+	return f.Micro + f.Macro + f.Weighted
+}
+
+// Scores extracts the three f1 averages of a report.
+func (r *Report) Scores() F1Scores {
+	return F1Scores{Micro: r.Micro.F1, Macro: r.Macro.F1, Weighted: r.Weighted.F1}
+}

@@ -1,0 +1,217 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// labelsFrom maps raw bytes onto a small label alphabet so random inputs
+// produce meaningful collisions.
+func labelsFrom(raw []byte) []string {
+	alphabet := []string{"a", "b", "c", "d", UnknownLabel}
+	out := make([]string, len(raw))
+	for i, b := range raw {
+		out[i] = alphabet[int(b)%len(alphabet)]
+	}
+	return out
+}
+
+// Property: micro precision == micro recall == micro f1 == accuracy, the
+// identity the paper explains under its Table 4.
+func TestMicroEqualsAccuracyProperty(t *testing.T) {
+	f := func(rawTrue, rawPred []byte) bool {
+		n := len(rawTrue)
+		if len(rawPred) < n {
+			n = len(rawPred)
+		}
+		if n == 0 {
+			return true
+		}
+		yTrue := labelsFrom(rawTrue[:n])
+		yPred := labelsFrom(rawPred[:n])
+		r, err := ClassificationReport(yTrue, yPred)
+		if err != nil {
+			return false
+		}
+		return r.Micro.Precision == r.Accuracy &&
+			r.Micro.Recall == r.Accuracy &&
+			r.Micro.F1 == r.Accuracy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weighted recall equals accuracy (supports weight each class's
+// recall by its true count, so the weighted sum telescopes to TP/total).
+func TestWeightedRecallEqualsAccuracyProperty(t *testing.T) {
+	f := func(rawTrue, rawPred []byte) bool {
+		n := len(rawTrue)
+		if len(rawPred) < n {
+			n = len(rawPred)
+		}
+		if n == 0 {
+			return true
+		}
+		r, err := ClassificationReport(labelsFrom(rawTrue[:n]), labelsFrom(rawPred[:n]))
+		if err != nil {
+			return false
+		}
+		return math.Abs(r.Weighted.Recall-r.Accuracy) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every metric lies in [0, 1] and per-class f1 is between the
+// min and max of precision and recall.
+func TestMetricBoundsProperty(t *testing.T) {
+	f := func(rawTrue, rawPred []byte) bool {
+		n := len(rawTrue)
+		if len(rawPred) < n {
+			n = len(rawPred)
+		}
+		if n == 0 {
+			return true
+		}
+		r, err := ClassificationReport(labelsFrom(rawTrue[:n]), labelsFrom(rawPred[:n]))
+		if err != nil {
+			return false
+		}
+		inRange := func(v float64) bool { return v >= 0 && v <= 1+1e-12 }
+		for _, m := range r.PerClass {
+			if !inRange(m.Precision) || !inRange(m.Recall) || !inRange(m.F1) {
+				return false
+			}
+			lo, hi := m.Precision, m.Recall
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if m.F1 < lo-1e-12 || m.F1 > hi+1e-12 {
+				return false
+			}
+		}
+		return inRange(r.Macro.F1) && inRange(r.Weighted.F1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the confusion matrix row sums equal the class supports and
+// the total equals the sample count.
+func TestConfusionMatrixSumsProperty(t *testing.T) {
+	f := func(rawTrue, rawPred []byte) bool {
+		n := len(rawTrue)
+		if len(rawPred) < n {
+			n = len(rawPred)
+		}
+		if n == 0 {
+			return true
+		}
+		yTrue := labelsFrom(rawTrue[:n])
+		yPred := labelsFrom(rawPred[:n])
+		labels, m, err := ConfusionMatrix(yTrue, yPred)
+		if err != nil {
+			return false
+		}
+		support := map[string]int{}
+		for _, l := range yTrue {
+			support[l]++
+		}
+		total := 0
+		for i, l := range labels {
+			row := 0
+			for _, v := range m[i] {
+				row += v
+			}
+			if row != support[l] {
+				return false
+			}
+			total += row
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: perfect predictions give accuracy 1 and every per-class f1 1.
+func TestPerfectPredictionProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		y := labelsFrom(raw)
+		r, err := ClassificationReport(y, y)
+		if err != nil {
+			return false
+		}
+		if r.Accuracy != 1 {
+			return false
+		}
+		for _, m := range r.PerClass {
+			if m.F1 != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the two-phase split always partitions the samples and never
+// trains on unknown classes, for arbitrary class-size layouts.
+func TestSplitPartitionProperty(t *testing.T) {
+	f := func(sizes []uint8, seed uint64) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 12 {
+			sizes = sizes[:12]
+		}
+		counts := map[string]int{}
+		for i, s := range sizes {
+			counts[string(rune('A'+i))] = int(s%9) + 1
+		}
+		samples := mkSamples(counts, nil)
+		split, err := SplitTwoPhase(samples, SplitOptions{Mode: RandomSplit, Seed: seed})
+		if err != nil {
+			return len(samples) == 0
+		}
+		seen := map[int]bool{}
+		for _, i := range split.TrainIdx {
+			if seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		for _, i := range split.TestIdx {
+			if seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		if len(seen) != len(samples) {
+			return false
+		}
+		unknown := map[string]bool{}
+		for _, c := range split.UnknownClasses {
+			unknown[c] = true
+		}
+		for _, i := range split.TrainIdx {
+			if unknown[samples[i].Class] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

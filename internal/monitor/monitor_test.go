@@ -1,0 +1,176 @@
+package monitor
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// stubLabeler labels samples by their Class field with fixed confidence,
+// using "-1" for classes outside its known set.
+type stubLabeler struct {
+	known map[string]bool
+}
+
+func (s *stubLabeler) Classify(sample *dataset.Sample) core.Prediction {
+	if s.known[sample.Class] {
+		return core.Prediction{Label: sample.Class, Class: sample.Class, Confidence: 0.95}
+	}
+	return core.Prediction{Label: core.UnknownLabel, Class: "NearestThing", Confidence: 0.3}
+}
+
+func testMonitor() *Monitor {
+	labeler := &stubLabeler{known: map[string]bool{
+		"BLAST": true, "GROMACS": true, "XMRig": true,
+	}}
+	return New(labeler, Policy{
+		AllowedByAccount: map[string][]string{
+			"bio-1": {"BLAST"},
+			"mat-2": {"GROMACS"},
+		},
+		Blocklist: []string{"XMRig"},
+	})
+}
+
+func event(job, user, account, class string) Event {
+	return Event{
+		JobID:   job,
+		User:    user,
+		Account: account,
+		Sample:  dataset.Sample{Class: class, Version: "1", Exe: "x"},
+	}
+}
+
+func kinds(findings []Finding) []FindingKind {
+	out := make([]FindingKind, len(findings))
+	for i, f := range findings {
+		out[i] = f.Kind
+	}
+	return out
+}
+
+func TestCleanJobHasNoFindings(t *testing.T) {
+	m := testMonitor()
+	pred, findings := m.Observe(event("1", "alice", "bio-1", "BLAST"))
+	if pred.Label != "BLAST" {
+		t.Fatalf("label = %q", pred.Label)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("clean job produced findings: %v", findings)
+	}
+}
+
+func TestUnknownApplicationFinding(t *testing.T) {
+	m := testMonitor()
+	pred, findings := m.Observe(event("2", "bob", "bio-1", "MysteryApp"))
+	if pred.Label != core.UnknownLabel {
+		t.Fatalf("label = %q", pred.Label)
+	}
+	if len(findings) != 1 || findings[0].Kind != UnknownApplication {
+		t.Fatalf("findings = %v", findings)
+	}
+	if !strings.Contains(findings[0].Message, "NearestThing") {
+		t.Fatalf("message lacks nearest class: %s", findings[0].Message)
+	}
+}
+
+func TestPurposeDeviation(t *testing.T) {
+	m := testMonitor()
+	_, findings := m.Observe(event("3", "carol", "bio-1", "GROMACS"))
+	ks := kinds(findings)
+	if len(ks) != 1 || ks[0] != PurposeDeviation {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestUnrestrictedAccount(t *testing.T) {
+	m := testMonitor()
+	if _, findings := m.Observe(event("4", "dave", "free-9", "GROMACS")); len(findings) != 0 {
+		t.Fatalf("unrestricted account flagged: %v", findings)
+	}
+}
+
+func TestNewUserBehaviour(t *testing.T) {
+	m := testMonitor()
+	if _, f := m.Observe(event("5", "erin", "bio-1", "BLAST")); len(f) != 0 {
+		t.Fatalf("first job flagged: %v", f)
+	}
+	if _, f := m.Observe(event("6", "erin", "bio-1", "BLAST")); len(f) != 0 {
+		t.Fatalf("repeat job flagged: %v", f)
+	}
+	_, findings := m.Observe(event("7", "erin", "mat-2", "GROMACS"))
+	found := false
+	for _, f := range findings {
+		if f.Kind == NewUserBehaviour {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("behaviour change not flagged: %v", findings)
+	}
+}
+
+func TestBlockedApplication(t *testing.T) {
+	m := testMonitor()
+	_, findings := m.Observe(event("8", "mallory", "free-9", "XMRig"))
+	if len(findings) == 0 || findings[0].Kind != BlockedApplication {
+		t.Fatalf("blocklisted app not flagged: %v", findings)
+	}
+}
+
+func TestUserHistory(t *testing.T) {
+	m := testMonitor()
+	m.Observe(event("9", "zoe", "free-9", "BLAST"))
+	m.Observe(event("10", "zoe", "free-9", "BLAST"))
+	m.Observe(event("11", "zoe", "free-9", "GROMACS"))
+	hist := m.UserHistory("zoe")
+	if len(hist) != 2 || hist[0].Class != "BLAST" || hist[0].Count != 2 {
+		t.Fatalf("history = %v", hist)
+	}
+	if got := m.UserHistory("nobody"); len(got) != 0 {
+		t.Fatalf("unknown user history = %v", got)
+	}
+}
+
+func TestUnknownDoesNotPolluteHistory(t *testing.T) {
+	m := testMonitor()
+	m.Observe(event("12", "pat", "free-9", "MysteryApp"))
+	if got := m.UserHistory("pat"); len(got) != 0 {
+		t.Fatalf("unknown observation entered history: %v", got)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	m := testMonitor()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				m.Observe(event("c", "conc", "free-9", "BLAST"))
+			}
+		}(w)
+	}
+	wg.Wait()
+	hist := m.UserHistory("conc")
+	if len(hist) != 1 || hist[0].Count != 400 {
+		t.Fatalf("concurrent history = %v, want 400 BLAST", hist)
+	}
+}
+
+func TestFindingKindString(t *testing.T) {
+	for k, want := range map[FindingKind]string{
+		UnknownApplication: "unknown-application",
+		PurposeDeviation:   "purpose-deviation",
+		NewUserBehaviour:   "new-user-behaviour",
+		BlockedApplication: "blocked-application",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

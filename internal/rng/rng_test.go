@@ -1,0 +1,208 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsProduceDistinctStreams(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(99)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("bucket %d: got %d, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of Float64 = %v, want about 0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(11)
+	const draws = 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want about 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want about 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestChildIndependentOfCallOrder(t *testing.T) {
+	a := New(42)
+	c1 := a.Child("alpha")
+	_ = a.Uint64() // advance parent
+	c2 := a.Child("alpha")
+	if c1.Uint64() != c2.Uint64() {
+		t.Fatal("Child derivation depends on parent stream position")
+	}
+}
+
+func TestChildLabelsDistinct(t *testing.T) {
+	a := New(42)
+	c1, c2 := a.Child("alpha"), a.Child("beta")
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("different labels produced identical child streams")
+	}
+}
+
+func TestSample(t *testing.T) {
+	s := New(13)
+	got := s.Sample(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("Sample(10,4) returned %d values", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Sample returned invalid/duplicate value: %v", got)
+		}
+		seen[v] = true
+	}
+	if all := s.Sample(5, 9); len(all) != 5 {
+		t.Fatalf("Sample(5,9) returned %d values, want 5", len(all))
+	}
+}
+
+func TestBytesDeterministic(t *testing.T) {
+	p1 := make([]byte, 37)
+	p2 := make([]byte, 37)
+	New(77).Bytes(p1)
+	New(77).Bytes(p2)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("Bytes is not deterministic")
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	s := New(21)
+	choices := []string{"a", "b", "c"}
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		counts[Pick(s, choices)]++
+	}
+	for _, c := range choices {
+		if counts[c] < 700 {
+			t.Errorf("Pick starves choice %q: %d draws", c, counts[c])
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(31)
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(3, 8)
+		if v < 3 || v > 8 {
+			t.Fatalf("IntRange(3,8) = %d", v)
+		}
+	}
+	if v := s.IntRange(5, 5); v != 5 {
+		t.Fatalf("IntRange(5,5) = %d", v)
+	}
+}
+
+func TestUint64QuickNoShortCycles(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		first := s.Uint64()
+		for i := 0; i < 64; i++ {
+			if s.Uint64() == first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

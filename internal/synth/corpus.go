@@ -1,0 +1,320 @@
+package synth
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/elfgen"
+	"repro/internal/rng"
+)
+
+// Options configures corpus generation.
+type Options struct {
+	// Seed drives every random decision; equal seeds give byte-identical
+	// corpora.
+	Seed uint64
+	// Rates overrides the mutation model; zero value selects DefaultRates.
+	Rates MutationRates
+	// StrippedFraction is the probability that a sample is emitted with
+	// its symbol table stripped (the paper's limitation ablation).
+	StrippedFraction float64
+}
+
+// Sample is one generated application executable with its provenance.
+type Sample struct {
+	// Class is the application-class label (the paper labels by install
+	// path root).
+	Class string
+	// Version is the version directory label, e.g. "1.2.10-goolf-1.4.10".
+	Version string
+	// Exe is the executable file name.
+	Exe string
+	// Unknown marks membership in the paper's Table 3 unknown split.
+	Unknown bool
+	// Stripped marks a binary emitted without a symbol table.
+	Stripped bool
+	// Binary is the ELF file content.
+	Binary []byte
+}
+
+// Path returns the corpus-relative install path of the sample, following
+// the layout the paper scrapes: Class/Version/exe.
+func (s *Sample) Path() string {
+	return filepath.Join(s.Class, s.Version, s.Exe)
+}
+
+// Corpus is a fully generated set of samples.
+type Corpus struct {
+	// Specs are the class specifications the corpus was generated from.
+	Specs []ClassSpec
+	// Samples are the generated executables, grouped by class in spec
+	// order, then by version, then executable.
+	Samples []Sample
+}
+
+// Generate builds the corpus described by specs. Classes sharing a genome
+// are generated from one version chain, each class seeing its own window.
+func Generate(specs []ClassSpec, opt Options) (*Corpus, error) {
+	if opt.Rates.isZero() {
+		opt.Rates = DefaultRates()
+	}
+	root := rng.New(opt.Seed)
+
+	// First pass: per-genome aggregates (chain length, tool count).
+	type groupInfo struct {
+		maxExes     int
+		maxVersions int
+	}
+	groups := map[string]*groupInfo{}
+	for i := range specs {
+		spec := &specs[i]
+		v, e := shapeClass(spec)
+		gi := groups[spec.genomeName()]
+		if gi == nil {
+			gi = &groupInfo{}
+			groups[spec.genomeName()] = gi
+		}
+		if e > gi.maxExes {
+			gi.maxExes = e
+		}
+		if spec.VersionOffset+v > gi.maxVersions {
+			gi.maxVersions = spec.VersionOffset + v
+		}
+	}
+
+	// The corpus-wide shared library pool; every genome links a few.
+	sharedLibs := buildLibraries(root.Child("libraries"))
+
+	// Second pass: generate, building each genome chain on first use.
+	chains := map[string][]*versionState{}
+	genomes := map[string]*genome{}
+	corpus := &Corpus{Specs: append([]ClassSpec(nil), specs...)}
+	for i := range specs {
+		spec := &specs[i]
+		gname := spec.genomeName()
+		g, ok := genomes[gname]
+		if !ok {
+			gi := groups[gname]
+			g = newGenome(root, gname, gi.maxExes, opt.Rates, sharedLibs)
+			st := g.initialState(gi.maxExes)
+			chain := []*versionState{st}
+			for len(chain) < gi.maxVersions {
+				st = g.nextState(st)
+				chain = append(chain, st)
+			}
+			genomes[gname] = g
+			chains[gname] = chain
+		}
+		chain := chains[gname]
+		v, e := shapeClass(spec)
+		for vi := 0; vi < v; vi++ {
+			st := chain[spec.VersionOffset+vi]
+			label := st.label
+			if len(spec.Versions) > 0 {
+				label = spec.Versions[vi]
+			}
+			for ei := 0; ei < e; ei++ {
+				exe := g.exeNames[ei]
+				if len(spec.Exes) > 0 {
+					exe = spec.Exes[ei]
+				}
+				sampleSrc := root.Child(fmt.Sprintf("sample:%s/%s/%s", spec.Name, label, exe))
+				stripped := opt.StrippedFraction > 0 && sampleSrc.Float64() < opt.StrippedFraction
+				bin, err := g.buildBinary(st, ei, exe, stripped)
+				if err != nil {
+					return nil, fmt.Errorf("synth: class %s version %s exe %s: %w",
+						spec.Name, label, exe, err)
+				}
+				corpus.Samples = append(corpus.Samples, Sample{
+					Class:    spec.Name,
+					Version:  label,
+					Exe:      exe,
+					Unknown:  spec.Unknown,
+					Stripped: stripped,
+					Binary:   bin,
+				})
+			}
+		}
+	}
+	return corpus, nil
+}
+
+// GenerateOne builds all samples of a single class; convenient for
+// injecting out-of-corpus binaries (e.g. the cluster-monitor example's
+// cryptominer).
+func GenerateOne(spec ClassSpec, opt Options) ([]Sample, error) {
+	c, err := Generate([]ClassSpec{spec}, opt)
+	if err != nil {
+		return nil, err
+	}
+	return c.Samples, nil
+}
+
+// WriteTree materialises the corpus under dir using the paper's install
+// layout Class/Version/exe, so the directory-scanning path of the dataset
+// loader can be exercised against it.
+func (c *Corpus) WriteTree(dir string) error {
+	for i := range c.Samples {
+		s := &c.Samples[i]
+		path := filepath.Join(dir, s.Path())
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("synth: %w", err)
+		}
+		if err := os.WriteFile(path, s.Binary, 0o755); err != nil {
+			return fmt.Errorf("synth: %w", err)
+		}
+	}
+	return nil
+}
+
+// buildBinary renders one executable of the genome at version state st.
+func (g *genome) buildBinary(st *versionState, exe int, exeName string, stripped bool) ([]byte, error) {
+	spec := &elfgen.Spec{
+		Comment:  toolchainBanner(st.toolchain),
+		Stripped: stripped,
+		Needed:   g.needed,
+	}
+
+	// Read-only data: version banner, then the class and tool strings.
+	// Literals keep their source order within translation-unit-sized
+	// blocks, but a toolchain change reshuffles the block (link) order:
+	// the strings(1) view partially survives recompiles — better than the
+	// raw file bytes whose code layout reshuffles every build, worse than
+	// the name-sorted symbol view that never moves. That is the paper's
+	// three-rung stability ladder.
+	var ro []byte
+	banner := fmt.Sprintf("%s version %s (%s)", exeName, st.label, st.toolchain)
+	ro = append(ro, banner...)
+	ro = append(ro, 0)
+	literals := append([]string(nil), commonStrings...)
+	for _, lib := range g.shared {
+		literals = append(literals, lib.strings...)
+	}
+	literals = append(literals, st.coreStrings...)
+	if exe < len(st.exeStrings) {
+		literals = append(literals, st.exeStrings[exe]...)
+	}
+	literals = shuffleBlocks(literals, 2, g.src.Child(fmt.Sprintf("strorder:%d:%d", st.epoch, exe)))
+	for _, s := range literals {
+		ro = append(ro, s...)
+		ro = append(ro, 0)
+	}
+
+	// Symbol layout: runtime support code first (locals then globals come
+	// out right because elfgen orders them), then core, then tool code.
+	var (
+		text    []byte
+		data    []byte
+		symbols []elfgen.Symbol
+	)
+	appendFunc := func(name string, global bool, body []byte) {
+		symbols = append(symbols, elfgen.Symbol{
+			Name: name, Global: global, Type: elfgen.Func,
+			Section: elfgen.Text, Value: uint64(len(text)), Size: uint64(len(body)),
+		})
+		text = append(text, body...)
+	}
+	appendObject := func(name string, global bool, body []byte) {
+		symbols = append(symbols, elfgen.Symbol{
+			Name: name, Global: global, Type: elfgen.Object,
+			Section: elfgen.Data, Value: uint64(len(data)), Size: uint64(len(body)),
+		})
+		data = append(data, body...)
+	}
+
+	for _, name := range runtimeLocals {
+		appendFunc(name, false, runtimeBody(name, st.toolchain))
+	}
+	for _, name := range runtimeGlobals {
+		appendFunc(name, true, runtimeBody(name, st.toolchain))
+	}
+	// Application symbols are laid out in a per-build order: every
+	// version is relinked, reshuffling function placement (layout churn),
+	// and each executable has its own layout. This is what makes the raw
+	// file bytes the least version-stable feature — the name-sorted nm
+	// view is immune, which is exactly the stability ordering behind the
+	// paper's Table 5. Statically linked shared-library code rides along
+	// in every executable, giving different classes genuinely common
+	// code, symbols and strings.
+	defs := append([]funcDef(nil), st.coreSyms...)
+	if exe < len(st.exeSyms) {
+		defs = append(defs, st.exeSyms[exe]...)
+	}
+	for _, lib := range g.shared {
+		defs = append(defs, lib.syms...)
+	}
+	layout := g.src.Child(fmt.Sprintf("layout:%d:%d", st.index, exe))
+	layout.Shuffle(len(defs), func(i, j int) { defs[i], defs[j] = defs[j], defs[i] })
+	for _, d := range defs {
+		if d.isFunc {
+			appendFunc(d.name, d.global, bodyBytes(d.seed, st.epoch, d.size))
+		} else {
+			size := d.size % 64
+			if size < 8 {
+				size = 8
+			}
+			appendObject(d.name, d.global, bodyBytes(d.seed, st.epoch, size))
+		}
+	}
+
+	spec.Text = text
+	spec.ROData = ro
+	spec.Data = data
+	spec.Symbols = symbols
+	return elfgen.Build(spec)
+}
+
+// shuffleBlocks permutes items in contiguous blocks of blockSize,
+// preserving order inside each block — link-order churn at
+// translation-unit granularity.
+func shuffleBlocks(items []string, blockSize int, r *rng.Source) []string {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	var blocks [][]string
+	for i := 0; i < len(items); i += blockSize {
+		end := i + blockSize
+		if end > len(items) {
+			end = len(items)
+		}
+		blocks = append(blocks, items[i:end])
+	}
+	r.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+	out := make([]string, 0, len(items))
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// bodyBytes renders the machine code (or object contents) of a symbol.
+// The bytes are fully determined by (seed, epoch): a code change gives the
+// symbol a new seed, a toolchain change bumps the epoch and re-encodes
+// everything — exactly the two kinds of raw-content churn the paper
+// describes.
+func bodyBytes(seed uint64, epoch int, size int) []byte {
+	if size < 8 {
+		size = 8
+	}
+	out := make([]byte, size)
+	r := rng.New(seed).ChildN(uint64(epoch))
+	r.Bytes(out)
+	// x86-64 flavoured prologue/epilogue so the bytes are not pure noise.
+	copy(out, []byte{0x55, 0x48, 0x89, 0xe5})
+	out[size-2] = 0x5d
+	out[size-1] = 0xc3
+	return out
+}
+
+// runtimeBody renders toolchain-provided support code: identical across
+// all binaries built with the same toolchain, different across toolchains.
+func runtimeBody(name, toolchain string) []byte {
+	r := rng.New(0xC0DE).Child(toolchain).Child(name)
+	return bodyBytes(r.Uint64(), 0, r.IntRange(48, 160))
+}
+
+// toolchainBanner renders the .comment content for a toolchain label.
+func toolchainBanner(toolchain string) string {
+	return fmt.Sprintf("GCC: (GNU) EasyBuild-%s", toolchain)
+}

@@ -1,0 +1,597 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// MutationRates parameterise how an application genome evolves from one
+// version to the next. The defaults encode the stability ordering the
+// paper observes and explains in its feature-importance discussion:
+// function names are the most stable feature, embedded strings change with
+// ordinary code maintenance, and raw code bytes change most — wholesale
+// when the toolchain epoch bumps (a recompile with a different compiler).
+type MutationRates struct {
+	// SymbolRename is the per-symbol probability of being renamed in a
+	// new version (API churn).
+	SymbolRename float64
+	// SymbolAdd is the expected fraction of new symbols added per version.
+	SymbolAdd float64
+	// SymbolRemove is the per-symbol probability of removal per version.
+	SymbolRemove float64
+	// StringChange is the per-string probability of rewording per version.
+	StringChange float64
+	// StringAdd is the expected fraction of new strings added per version.
+	StringAdd float64
+	// CodeChange is the per-function probability that its body changes in
+	// a new version (bug fixes, optimisation).
+	CodeChange float64
+	// EpochBump is the per-version probability of a toolchain change,
+	// which re-encodes every function body and swaps the runtime support
+	// code — the paper's "different compiler versions or flags".
+	EpochBump float64
+	// MajorRefactor is the per-version probability of a major rework:
+	// a large fraction of symbols is renamed and strings reworded in one
+	// release. This produces the paper's partially-failing classes,
+	// "where certain applications change more drastically across versions
+	// than others" (§5, Inconsistent Performance).
+	MajorRefactor float64
+}
+
+// DefaultRates returns the mutation rates used for the paper-scale
+// corpus. They were calibrated so the end-to-end pipeline lands near the
+// paper's operating point (macro f1 about 0.90 with symbol importance
+// dominant); EXPERIMENTS.md records the calibrated outcomes.
+func DefaultRates() MutationRates {
+	return MutationRates{
+		SymbolRename:  0.045,
+		SymbolAdd:     0.05,
+		SymbolRemove:  0.02,
+		StringChange:  0.18,
+		StringAdd:     0.08,
+		CodeChange:    0.30,
+		EpochBump:     0.50,
+		MajorRefactor: 0.10,
+	}
+}
+
+// refactorFraction is the share of symbols renamed / strings reworded by
+// one major refactor event.
+const refactorFraction = 0.35
+
+// isZero reports whether r is entirely unset.
+func (r MutationRates) isZero() bool {
+	return r == MutationRates{}
+}
+
+// funcDef is one symbol of a genome: a function or data object whose body
+// bytes are derived from (seed, epoch).
+type funcDef struct {
+	name   string
+	size   int
+	seed   uint64
+	global bool
+	isFunc bool
+}
+
+// versionState is the full content state of a genome at one version.
+type versionState struct {
+	index       int
+	label       string
+	toolchain   string
+	epoch       int
+	coreSyms    []funcDef
+	exeSyms     [][]funcDef
+	coreStrings []string
+	exeStrings  [][]string
+	major       int
+	minor       int
+	patch       int
+	threePart   bool
+}
+
+// genome is an application identity: its tool names, libraries, naming
+// style and the evolving content chain.
+type genome struct {
+	name     string
+	tag      string
+	src      *rng.Source
+	rates    MutationRates
+	exeNames []string
+	needed   []string
+	shared   []*library // statically linked domain libraries
+	nextSym  int        // counter for fresh symbol names
+	nextStr  int        // counter for fresh strings
+}
+
+// Vocabulary pools for synthetic identifiers and strings. These are flavour
+// only; class separability comes from genome-tag prefixes and the
+// combinatorial token space.
+var (
+	symVerbs = []string{
+		"init", "free", "read", "write", "parse", "emit", "hash", "index",
+		"align", "merge", "split", "scan", "pack", "unpack", "solve",
+		"reduce", "map", "filter", "sort", "walk", "build", "load", "store",
+		"update", "flush", "sync", "fold", "trace", "probe", "score",
+	}
+	symNouns = []string{
+		"matrix", "vector", "graph", "tree", "node", "edge", "kmer", "seq",
+		"contig", "read", "buffer", "cache", "table", "grid", "mesh",
+		"cell", "atom", "residue", "orbital", "basis", "kernel", "tile",
+		"block", "chunk", "queue", "pool", "ring", "heap", "state", "ctx",
+	}
+	symSuffixes = []string{"", "", "", "64", "2", "_mt", "_simd", "_ex", "_v2", "_impl"}
+
+	stringTemplates = []string{
+		"error: failed to %s %s",
+		"warning: %s %s overflow",
+		"Usage: %%s [options] <%s>",
+		"cannot open %s file '%%s'",
+		"%s %s exceeds limit (%%d)",
+		"verbose: %s pass on %s done",
+		"invalid %s in %s record",
+		"allocating %%zu bytes for %s %s",
+		"%s-%s checkpoint written",
+		"unsupported %s format in %s",
+	}
+
+	toolchains = []string{
+		"GCC-8.5.0", "GCC-10.3.0", "GCC-12.2.0", "foss-2021a", "foss-2022b",
+		"goolf-1.4.10", "goolf-1.7.20", "iomkl-2019.01", "intel-2020a",
+		"iimpi-2021b",
+	}
+
+	libraryPool = []string{
+		"libc.so.6", "libm.so.6", "libpthread.so.0", "libdl.so.2",
+		"libz.so.1", "libbz2.so.1.0", "liblzma.so.5", "libstdc++.so.6",
+		"libgcc_s.so.1", "libgomp.so.1", "libmpi.so.40", "libhdf5.so.200",
+		"libfftw3.so.3", "libblas.so.3", "liblapack.so.3", "libgsl.so.25",
+		"libcurl.so.4", "libxml2.so.2", "libboost_system.so.1.74.0",
+	}
+
+	// runtimeSymbols are present in every binary of the corpus, providing
+	// the cross-class similarity floor real toolchains create.
+	runtimeGlobals = []string{
+		"main", "_init", "_fini", "_start", "__libc_csu_init",
+		"__libc_csu_fini", "__data_start", "_edata", "_end",
+	}
+	runtimeLocals = []string{
+		"deregister_tm_clones", "register_tm_clones", "frame_dummy",
+		"__do_global_dtors_aux", "call_weak_fn",
+	}
+
+	// commonStrings is boilerplate embedded in every binary — licence
+	// headers, usage scaffolding, allocator messages. On real systems
+	// strings(1) output is full of this shared matter, which is one
+	// reason the strings feature is noisier than the symbol feature.
+	commonStrings = []string{
+		"This program is free software: you can redistribute it and/or modify",
+		"it under the terms of the GNU General Public License as published by",
+		"the Free Software Foundation, either version 3 of the License, or",
+		"(at your option) any later version.",
+		"This program is distributed in the hope that it will be useful,",
+		"but WITHOUT ANY WARRANTY; without even the implied warranty of",
+		"MERCHANTABILITY or FITNESS FOR A PARTICULAR PURPOSE.",
+		"Usage: %s [OPTIONS] FILE...",
+		"Try '%s --help' for more information.",
+		"Report bugs to: support@cluster.example.org",
+		"out of memory allocating %zu bytes",
+		"cannot open '%s': %s",
+		"invalid option -- '%c'",
+		"terminate called after throwing an instance of",
+		"basic_string::_M_construct null not valid",
+		"pure virtual method called",
+		"__cxa_guard_acquire detected recursive initialization",
+		"FATAL: unexpected signal %d, dumping core",
+	}
+)
+
+// numSharedLibraries is the size of the corpus-wide pool of statically
+// linked domain libraries (HDF5-like, HTSlib-like, BLAS-like, ...). Every
+// application genome links a few of them, creating the cross-class shared
+// code, symbols and strings that real scientific software exhibits — the
+// source of classifier confusion between classes and the reason unknown
+// samples are not trivially separable.
+const numSharedLibraries = 14
+
+// library is one shared, statically linked domain library.
+type library struct {
+	name    string
+	syms    []funcDef
+	strings []string
+}
+
+// buildLibraries derives the corpus-wide shared library pool.
+func buildLibraries(root *rng.Source) []*library {
+	libs := make([]*library, numSharedLibraries)
+	for i := range libs {
+		r := root.Child(fmt.Sprintf("sharedlib:%d", i))
+		tagLen := r.IntRange(2, 4)
+		tag := make([]byte, tagLen)
+		for j := range tag {
+			tag[j] = byte('a' + r.Intn(26))
+		}
+		lib := &library{name: "lib" + string(tag)}
+		nSyms := r.IntRange(25, 70)
+		for j := 0; j < nSyms; j++ {
+			name := fmt.Sprintf("%s_%s_%s%s_%d", lib.name,
+				rng.Pick(r, symVerbs), rng.Pick(r, symNouns), rng.Pick(r, symSuffixes), j)
+			lib.syms = append(lib.syms, funcDef{
+				name:   name,
+				size:   r.IntRange(48, 280),
+				seed:   r.Uint64(),
+				global: r.Float64() < 0.8,
+				isFunc: r.Float64() < 0.9,
+			})
+		}
+		nStrings := r.IntRange(15, 40)
+		for j := 0; j < nStrings; j++ {
+			tpl := rng.Pick(r, stringTemplates)
+			lib.strings = append(lib.strings,
+				fmt.Sprintf("%s: ", lib.name)+fmt.Sprintf(tpl, rng.Pick(r, symNouns), rng.Pick(r, symNouns)))
+		}
+		libs[i] = lib
+	}
+	return libs
+}
+
+// newGenome derives a genome from the corpus seed and its name, linking
+// it against a few of the corpus-wide shared libraries.
+func newGenome(root *rng.Source, name string, maxExes int, rates MutationRates, libs []*library) *genome {
+	src := root.Child("genome:" + name)
+	g := &genome{name: name, src: src, rates: rates}
+	// Short lowercase tag prefixed onto most identifiers, modelling
+	// app-specific naming conventions (e.g. velvet's "vg_" style).
+	tagLen := src.IntRange(2, 4)
+	tag := make([]byte, tagLen)
+	for i := range tag {
+		tag[i] = byte('a' + src.Intn(26))
+	}
+	g.tag = string(tag)
+
+	g.exeNames = make([]string, maxExes)
+	used := map[string]bool{}
+	for i := range g.exeNames {
+		name := g.toolName(i)
+		// Tool names label install paths, so they must be unique within
+		// the genome.
+		for used[name] {
+			name += "x"
+		}
+		used[name] = true
+		g.exeNames[i] = name
+	}
+	nLibs := src.IntRange(3, 7)
+	seen := map[string]bool{}
+	for len(g.needed) < nLibs {
+		lib := rng.Pick(src, libraryPool)
+		if !seen[lib] {
+			seen[lib] = true
+			g.needed = append(g.needed, lib)
+		}
+	}
+	if len(libs) > 0 {
+		nShared := src.IntRange(2, 4)
+		for _, idx := range src.Sample(len(libs), nShared) {
+			g.shared = append(g.shared, libs[idx])
+		}
+	}
+	return g
+}
+
+// toolName builds the i-th executable name of the genome.
+func (g *genome) toolName(i int) string {
+	if i == 0 {
+		return g.tag
+	}
+	r := g.src.Child(fmt.Sprintf("tool:%d", i))
+	return g.tag + rng.Pick(r, symVerbs) + rng.Pick(r, []string{"", "2", "64", "_tool", "er"})
+}
+
+// freshSymbol creates a brand-new symbol definition. prefix namespaces the
+// symbol into its pool ("velvet_" for an application core, "velveth_" for
+// one tool), mirroring how real codebases prefix their APIs. Namespacing
+// matters for fuzzy hashing: in the name-sorted nm view it groups each
+// pool into a contiguous block, so executables sharing a core exhibit long
+// identical runs — the structure SSDeep's common-substring gate needs.
+func (g *genome) freshSymbol(r *rng.Source, prefix string) funcDef {
+	g.nextSym++
+	name := rng.Pick(r, symVerbs) + "_" + rng.Pick(r, symNouns) + rng.Pick(r, symSuffixes)
+	if r.Float64() < 0.85 {
+		name = prefix + name
+	}
+	// A counter suffix keeps names unique within the genome without
+	// perturbing the overall shape.
+	name = fmt.Sprintf("%s_%d", name, g.nextSym)
+	return funcDef{
+		name:   name,
+		size:   r.IntRange(48, 320),
+		seed:   r.Uint64(),
+		global: r.Float64() < 0.7,
+		isFunc: r.Float64() < 0.85,
+	}
+}
+
+// corePrefix is the symbol namespace of the application core.
+func (g *genome) corePrefix() string { return g.tag + "_" }
+
+// exePrefix is the symbol namespace of tool e.
+func (g *genome) exePrefix(e int) string {
+	if e < len(g.exeNames) {
+		return g.exeNames[e] + "_"
+	}
+	return g.tag + "_"
+}
+
+// freshString creates a brand-new embedded string.
+func (g *genome) freshString(r *rng.Source) string {
+	g.nextStr++
+	tpl := rng.Pick(r, stringTemplates)
+	s := fmt.Sprintf(tpl, rng.Pick(r, symNouns), rng.Pick(r, symNouns))
+	if r.Float64() < 0.3 {
+		s = fmt.Sprintf("%s [%s-%d]", s, g.tag, g.nextStr)
+	}
+	return s
+}
+
+// initialState builds version 0 of the genome chain.
+func (g *genome) initialState(nExes int) *versionState {
+	r := g.src.Child("v0")
+	st := &versionState{
+		index:     0,
+		toolchain: rng.Pick(r, toolchains),
+		epoch:     0,
+		major:     r.IntRange(1, 46),
+		minor:     r.Intn(10),
+		patch:     r.Intn(20),
+		threePart: r.Float64() < 0.6,
+	}
+	nCore := r.IntRange(30, 110)
+	for i := 0; i < nCore; i++ {
+		st.coreSyms = append(st.coreSyms, g.freshSymbol(r, g.corePrefix()))
+	}
+	nCoreStr := r.IntRange(20, 70)
+	for i := 0; i < nCoreStr; i++ {
+		st.coreStrings = append(st.coreStrings, g.freshString(r))
+	}
+	st.exeSyms = make([][]funcDef, nExes)
+	st.exeStrings = make([][]string, nExes)
+	for e := 0; e < nExes; e++ {
+		er := g.src.Child(fmt.Sprintf("v0exe:%d", e))
+		nSym := er.IntRange(12, 45)
+		for i := 0; i < nSym; i++ {
+			st.exeSyms[e] = append(st.exeSyms[e], g.freshSymbol(er, g.exePrefix(e)))
+		}
+		nStr := er.IntRange(8, 30)
+		for i := 0; i < nStr; i++ {
+			st.exeStrings[e] = append(st.exeStrings[e], g.freshString(er))
+		}
+	}
+	st.label = formatVersionState(st)
+	return st
+}
+
+// nextState evolves the genome one version forward.
+func (g *genome) nextState(prev *versionState) *versionState {
+	r := g.src.Child(fmt.Sprintf("v%d", prev.index+1))
+	st := &versionState{
+		index:     prev.index + 1,
+		toolchain: prev.toolchain,
+		epoch:     prev.epoch,
+		major:     prev.major,
+		minor:     prev.minor,
+		patch:     prev.patch,
+		threePart: prev.threePart,
+	}
+	// Semantic version bump. Two-part labels omit the patch component, so
+	// for them even a patch-level release bumps the minor number — labels
+	// must stay unique because they name version directories.
+	switch bump := r.Float64(); {
+	case bump < 0.08:
+		st.major++
+		st.minor, st.patch = 0, 0
+	case bump < 0.4:
+		st.minor++
+		st.patch = 0
+	case st.threePart:
+		st.patch++
+	default:
+		st.minor++
+	}
+	// Toolchain epoch: a recompile with a different compiler re-encodes
+	// every function body without touching names or strings.
+	if r.Float64() < g.rates.EpochBump {
+		st.epoch++
+		st.toolchain = rng.Pick(r, toolchains)
+	}
+	// A major refactor reworks a large fraction of the code base in one
+	// release: it forces a major version bump and a recompile on top of
+	// heavy renaming.
+	refactor := r.Float64() < g.rates.MajorRefactor
+	if refactor {
+		st.major = prev.major + 1
+		st.minor, st.patch = 0, 0
+		st.epoch++
+	}
+	st.coreSyms = g.mutateSymbols(r, prev.coreSyms, g.corePrefix())
+	st.coreStrings = g.mutateStrings(r, prev.coreStrings)
+	st.exeSyms = make([][]funcDef, len(prev.exeSyms))
+	st.exeStrings = make([][]string, len(prev.exeStrings))
+	for e := range prev.exeSyms {
+		st.exeSyms[e] = g.mutateSymbols(r, prev.exeSyms[e], g.exePrefix(e))
+		st.exeStrings[e] = g.mutateStrings(r, prev.exeStrings[e])
+	}
+	if refactor {
+		st.coreSyms = g.refactorSymbols(r, st.coreSyms, g.corePrefix())
+		st.coreStrings = g.refactorStrings(r, st.coreStrings)
+		for e := range st.exeSyms {
+			st.exeSyms[e] = g.refactorSymbols(r, st.exeSyms[e], g.exePrefix(e))
+			st.exeStrings[e] = g.refactorStrings(r, st.exeStrings[e])
+		}
+	}
+	st.label = formatVersionState(st)
+	return st
+}
+
+// refactorSymbols renames a refactorFraction share of the pool.
+func (g *genome) refactorSymbols(r *rng.Source, syms []funcDef, prefix string) []funcDef {
+	out := make([]funcDef, len(syms))
+	for i, s := range syms {
+		if r.Float64() < refactorFraction {
+			fresh := g.freshSymbol(r, prefix)
+			fresh.global = s.global
+			fresh.isFunc = s.isFunc
+			out[i] = fresh
+		} else {
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// refactorStrings rewords a refactorFraction share of the pool.
+func (g *genome) refactorStrings(r *rng.Source, strs []string) []string {
+	out := make([]string, len(strs))
+	for i, s := range strs {
+		if r.Float64() < refactorFraction {
+			out[i] = g.freshString(r)
+		} else {
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// mutateSymbols applies one version step to a symbol pool.
+func (g *genome) mutateSymbols(r *rng.Source, syms []funcDef, prefix string) []funcDef {
+	out := make([]funcDef, 0, len(syms)+4)
+	for _, s := range syms {
+		if r.Float64() < g.rates.SymbolRemove {
+			continue
+		}
+		if r.Float64() < g.rates.SymbolRename {
+			fresh := g.freshSymbol(r, prefix)
+			fresh.global = s.global
+			fresh.isFunc = s.isFunc
+			out = append(out, fresh)
+			continue
+		}
+		if r.Float64() < g.rates.CodeChange {
+			// Body rewritten: new seed, slightly different size; the
+			// name survives (the stability the paper relies on).
+			s.seed = r.Uint64()
+			s.size += r.IntRange(-16, 24)
+			if s.size < 32 {
+				s.size = 32
+			}
+		}
+		out = append(out, s)
+	}
+	nAdd := poissonish(r, g.rates.SymbolAdd*float64(len(syms)))
+	for i := 0; i < nAdd; i++ {
+		out = append(out, g.freshSymbol(r, prefix))
+	}
+	return out
+}
+
+// mutateStrings applies one version step to a string pool.
+func (g *genome) mutateStrings(r *rng.Source, strs []string) []string {
+	out := make([]string, 0, len(strs)+4)
+	for _, s := range strs {
+		if r.Float64() < g.rates.StringChange {
+			out = append(out, g.freshString(r))
+			continue
+		}
+		out = append(out, s)
+	}
+	nAdd := poissonish(r, g.rates.StringAdd*float64(len(strs)))
+	for i := 0; i < nAdd; i++ {
+		out = append(out, g.freshString(r))
+	}
+	return out
+}
+
+// poissonish draws a small non-negative count with the given mean.
+func poissonish(r *rng.Source, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	n := int(mean)
+	if r.Float64() < mean-float64(n) {
+		n++
+	}
+	return n
+}
+
+// formatVersionState renders the version directory label, e.g.
+// "1.2.10-GCC-10.3.0" or "46.0-iomkl-2019.01".
+func formatVersionState(st *versionState) string {
+	if st.threePart {
+		return fmt.Sprintf("%d.%d.%d-%s", st.major, st.minor, st.patch, st.toolchain)
+	}
+	return fmt.Sprintf("%d.%d-%s", st.major, st.minor, st.toolchain)
+}
+
+// formatVersion renders an explicit version label; patch < 0 drops the
+// patch component.
+func formatVersion(major, minor, patch int, toolchain string) string {
+	if patch < 0 {
+		return fmt.Sprintf("%d.%d-%s", major, minor, toolchain)
+	}
+	return fmt.Sprintf("%d.%d.%d-%s", major, minor, patch, toolchain)
+}
+
+// shapeClass decides the versions x executables shape of a class. Fixed
+// lists win; otherwise the target sample count is factored into at least 3
+// versions (the paper's collection threshold) and as many executables as
+// needed.
+func shapeClass(spec *ClassSpec) (versions, exes int) {
+	if len(spec.Versions) > 0 {
+		versions = len(spec.Versions)
+	}
+	if len(spec.Exes) > 0 {
+		exes = len(spec.Exes)
+	}
+	if versions > 0 && exes > 0 {
+		return versions, exes
+	}
+	n := spec.Samples
+	if n < 3 {
+		n = 3
+	}
+	if versions > 0 {
+		return versions, bestCount(n, versions)
+	}
+	if exes > 0 {
+		v := bestCount(n, exes)
+		if v < 3 {
+			v = 3
+		}
+		return v, exes
+	}
+	if n <= 8 {
+		return n, 1
+	}
+	bestV, bestErr := 3, 1<<30
+	for v := 3; v <= 8; v++ {
+		e := bestCount(n, v)
+		err := v*e - n
+		if err < 0 {
+			err = -err
+		}
+		if err < bestErr {
+			bestErr, bestV = err, v
+		}
+	}
+	return bestV, bestCount(n, bestV)
+}
+
+// bestCount returns round(n / d), at least 1.
+func bestCount(n, d int) int {
+	c := (n + d/2) / d
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

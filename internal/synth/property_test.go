@@ -1,0 +1,170 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/extract"
+)
+
+// TestGenerateArbitraryManifests drives the generator with random small
+// manifests and checks its structural contract: exact sample counts,
+// non-empty valid ELF binaries, and path uniqueness.
+func TestGenerateArbitraryManifests(t *testing.T) {
+	f := func(seed uint64, sizesRaw []uint8, twin bool) bool {
+		if len(sizesRaw) == 0 {
+			return true
+		}
+		if len(sizesRaw) > 5 {
+			sizesRaw = sizesRaw[:5]
+		}
+		var specs []ClassSpec
+		for i, raw := range sizesRaw {
+			specs = append(specs, ClassSpec{
+				Name:    fmt.Sprintf("Cls%d", i),
+				Samples: int(raw%20) + 1,
+				Unknown: i%2 == 1,
+			})
+		}
+		if twin && len(specs) >= 2 {
+			specs[1].Genome = specs[0].genomeName()
+			specs[1].VersionOffset = 3
+		}
+		want := TotalSamples(specs)
+		c, err := Generate(specs, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		if len(c.Samples) != want {
+			return false
+		}
+		paths := map[string]bool{}
+		for i := range c.Samples {
+			s := &c.Samples[i]
+			if paths[s.Path()] {
+				return false // duplicate install path
+			}
+			paths[s.Path()] = true
+			if !extract.IsELF(s.Binary) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShapeClassProperty checks the version/executable shaping contract
+// for arbitrary targets.
+func TestShapeClassProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		spec := ClassSpec{Samples: int(raw % 1200)}
+		v, e := shapeClass(&spec)
+		if v < 3 && spec.Samples >= 3 {
+			// Fewer than 3 versions violates the paper's collection rule
+			// (except for tiny targets where v == samples).
+			if v != spec.Samples {
+				return false
+			}
+		}
+		if v < 1 || e < 1 {
+			return false
+		}
+		// The realised count stays within 12% of the target (rounding to
+		// a versions x executables grid).
+		target := spec.Samples
+		if target < 3 {
+			target = 3
+		}
+		got := v * e
+		diff := got - target
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff*100 <= target*12+400
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMutationRatesExtremes drives the mutation model to its edges.
+func TestMutationRatesExtremes(t *testing.T) {
+	base := ClassSpec{Name: "Edge", Samples: 6}
+	// All-zero rates beyond epoch: versions nearly identical.
+	frozen := MutationRates{EpochBump: 0.0001, SymbolRename: 0.0001,
+		SymbolAdd: 0.0001, SymbolRemove: 0.0001, StringChange: 0.0001,
+		StringAdd: 0.0001, CodeChange: 0.0001, MajorRefactor: 0.0001}
+	c, err := Generate([]ClassSpec{base}, Options{Seed: 4, Rates: frozen})
+	if err != nil {
+		t.Fatalf("frozen rates: %v", err)
+	}
+	symsA, err := extract.GlobalSymbols(c.Samples[0].Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symsB, err := extract.GlobalSymbols(c.Samples[len(c.Samples)-1].Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(symsA) != len(symsB) {
+		t.Fatalf("frozen genome still churned symbols: %d vs %d", len(symsA), len(symsB))
+	}
+	// Violent rates: generation still succeeds and yields valid ELF.
+	violent := MutationRates{EpochBump: 0.95, SymbolRename: 0.5,
+		SymbolAdd: 0.3, SymbolRemove: 0.3, StringChange: 0.8,
+		StringAdd: 0.4, CodeChange: 0.9, MajorRefactor: 0.6}
+	c, err = Generate([]ClassSpec{base}, Options{Seed: 5, Rates: violent})
+	if err != nil {
+		t.Fatalf("violent rates: %v", err)
+	}
+	for i := range c.Samples {
+		if _, err := extract.GlobalSymbols(c.Samples[i].Binary); err != nil {
+			t.Fatalf("violent sample %d unparseable: %v", i, err)
+		}
+	}
+}
+
+// TestSharedLibraryContentAppearsAcrossClasses verifies the cross-class
+// sharing mechanism: with one shared-library pool, symbols prefixed
+// "lib..." appear in binaries of different genomes.
+func TestSharedLibraryContentAppearsAcrossClasses(t *testing.T) {
+	c, err := Generate([]ClassSpec{
+		{Name: "L1", Samples: 3},
+		{Name: "L2", Samples: 3},
+	}, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	libSyms := func(bin []byte) map[string]bool {
+		syms, err := extract.GlobalSymbols(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]bool{}
+		for _, s := range syms {
+			if len(s.Name) > 3 && s.Name[:3] == "lib" {
+				out[s.Name] = true
+			}
+		}
+		return out
+	}
+	a := libSyms(c.Samples[0].Binary)
+	if len(a) == 0 {
+		t.Fatal("no shared-library symbols in first binary")
+	}
+	var bBin []byte
+	for i := range c.Samples {
+		if c.Samples[i].Class == "L2" {
+			bBin = c.Samples[i].Binary
+			break
+		}
+	}
+	b := libSyms(bBin)
+	if len(b) == 0 {
+		t.Fatal("no shared-library symbols in second class")
+	}
+}

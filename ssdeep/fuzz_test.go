@@ -1,0 +1,72 @@
+package ssdeep
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the digest parser: it must never
+// panic, and anything it accepts must round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("3:abc:def")
+	f.Add("96:QcPICzcyxOK7gfp1RNuZBevzxHU8nEksG2:VxbxQ/Zvu8nP92")
+	f.Add("::")
+	f.Add("3::")
+	f.Add("18446744073709551616:a:b")
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(d.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", d.String(), s, err)
+		}
+		if back != d {
+			t.Fatalf("round trip changed digest: %v vs %v", back, d)
+		}
+		// Accepted digests must be comparable without panicking.
+		if score := Compare(d, d); score < 0 || score > 100 {
+			t.Fatalf("self-comparison of %q = %d", s, score)
+		}
+	})
+}
+
+// FuzzHashCompare hashes arbitrary inputs and mutations of them: scores
+// must stay within bounds, self-similarity must be 100, and hashing must
+// be deterministic.
+func FuzzHashCompare(f *testing.F) {
+	f.Add([]byte("hello world, this is a seed input for fuzzing"), uint8(3))
+	f.Add(bytes.Repeat([]byte{0xaa, 0x55}, 600), uint8(9))
+	f.Fuzz(func(t *testing.T, data []byte, flips uint8) {
+		if len(data) == 0 {
+			return
+		}
+		d1, err := HashBytes(data)
+		if err != nil {
+			t.Fatalf("HashBytes(%d bytes): %v", len(data), err)
+		}
+		d2, err := HashBytes(data)
+		if err != nil || d1 != d2 {
+			t.Fatalf("hashing not deterministic: %v vs %v (%v)", d1, d2, err)
+		}
+		if got := Compare(d1, d2); got != 100 {
+			t.Fatalf("self-similarity = %d", got)
+		}
+		mut := append([]byte(nil), data...)
+		for i := 0; i < int(flips); i++ {
+			mut[(i*131)%len(mut)] ^= byte(i + 1)
+		}
+		dm, err := HashBytes(mut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, s2 := Compare(d1, dm), Compare(dm, d1)
+		if s1 != s2 {
+			t.Fatalf("asymmetric score %d vs %d", s1, s2)
+		}
+		if s1 < 0 || s1 > 100 {
+			t.Fatalf("score out of range: %d", s1)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package ssdeep
+
+import "sort"
+
+// Index is a similarity-search structure over many fuzzy digests.
+// Entries are bucketed by block size, and each bucket keeps an inverted
+// index from rolling 7-gram hashes to entry ids. Because a non-zero
+// similarity score requires a shared 7-gram in the compared signature
+// pair (the common-substring gate), every digest scoring above zero
+// against the query shares at least one posting list with it — so a query
+// touches only genuine candidates instead of the whole corpus.
+//
+// This is the digest-matching mode of the original ssdeep tool,
+// generalised to an in-memory structure. The classifier's profile
+// featurisation has its own per-class layout; Index serves corpus-level
+// queries: near-duplicate discovery, cross-class label auditing
+// (the paper's CellRanger vs Cell-Ranger case) and ad-hoc lookups.
+type Index struct {
+	entries []Prepared
+	digests []Digest
+	// buckets maps block size -> gram hash -> entry ids. For each entry
+	// both signatures are indexed: Sig1 under its block size and Sig2
+	// under twice that, mirroring how comparison pairs signatures.
+	buckets map[uint32]map[uint32][]int32
+	// exact maps the normalised digest string to ids, covering identical
+	// digests whose signatures are too short to carry any 7-gram.
+	exact map[string][]int32
+	// stamp supports O(1) candidate deduplication per query.
+	stamp   []uint32
+	queryID uint32
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		buckets: make(map[uint32]map[uint32][]int32),
+		exact:   make(map[string][]int32),
+	}
+}
+
+// Len returns the number of indexed digests.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// Digest returns the id-th indexed digest.
+func (ix *Index) Digest(id int) Digest { return ix.digests[id] }
+
+// Add indexes d and returns its id.
+func (ix *Index) Add(d Digest) int {
+	id := int32(len(ix.entries))
+	p := Prepare(d)
+	ix.entries = append(ix.entries, p)
+	ix.digests = append(ix.digests, d)
+	ix.stamp = append(ix.stamp, 0)
+
+	ix.post(p.BlockSize, p.sig1, id)
+	ix.post(2*p.BlockSize, p.sig2, id)
+	key := exactKey(p)
+	ix.exact[key] = append(ix.exact[key], id)
+	return int(id)
+}
+
+// post adds every 7-gram of sig to the bucket of size bs.
+func (ix *Index) post(bs uint32, sig string, id int32) {
+	if len(sig) < rollingWindow {
+		return
+	}
+	bucket := ix.buckets[bs]
+	if bucket == nil {
+		bucket = make(map[uint32][]int32)
+		ix.buckets[bs] = bucket
+	}
+	seen := map[uint32]bool{}
+	for _, h := range gramHashes(sig, nil) {
+		if seen[h] {
+			continue // one posting per distinct gram per entry
+		}
+		seen[h] = true
+		bucket[h] = append(bucket[h], id)
+	}
+}
+
+func exactKey(p Prepared) string {
+	return p.sig1 + "\x00" + p.sig2 + "\x00" + string(rune(p.BlockSize))
+}
+
+// Match is one similarity-search hit.
+type Match struct {
+	// ID identifies the indexed digest.
+	ID int
+	// Score is the 0-100 similarity to the query.
+	Score int
+}
+
+// Query returns every indexed digest whose similarity to d is at least
+// minScore (> 0), sorted by descending score then ascending id, using the
+// default Damerau–Levenshtein scoring.
+func (ix *Index) Query(d Digest, minScore int) []Match {
+	return ix.QueryDistance(d, minScore, DistanceDL)
+}
+
+// QueryDistance is Query with an explicit signature distance.
+func (ix *Index) QueryDistance(d Digest, minScore int, dist DistanceFunc) []Match {
+	if minScore < 1 {
+		minScore = 1
+	}
+	q := Prepare(d)
+	ix.queryID++
+	mark := ix.queryID
+
+	var out []Match
+	consider := func(id int32) {
+		if ix.stamp[id] == mark {
+			return
+		}
+		ix.stamp[id] = mark
+		if score := ComparePrepared(q, ix.entries[id], dist); score >= minScore {
+			out = append(out, Match{ID: int(id), Score: score})
+		}
+	}
+
+	// Candidate generation: pair each query signature with the bucket it
+	// would be compared against. Sig1 lives at BlockSize, Sig2 at twice
+	// that; comparison crosses buckets exactly when block sizes differ by
+	// a factor of two, which the bucket keys already encode.
+	ix.collect(q.BlockSize, q.grams1, consider)
+	ix.collect(2*q.BlockSize, q.grams2, consider)
+	for _, id := range ix.exact[exactKey(q)] {
+		consider(id)
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// collect feeds every entry sharing a gram with the query signature in
+// the given bucket to consider.
+func (ix *Index) collect(bs uint32, grams []uint32, consider func(int32)) {
+	bucket := ix.buckets[bs]
+	if bucket == nil {
+		return
+	}
+	for _, h := range grams {
+		for _, id := range bucket[h] {
+			consider(id)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package ssdeep
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// family produces n related inputs: one base plus n-1 light mutations.
+func family(t *testing.T, seed uint64, n, size int) []Digest {
+	t.Helper()
+	base := corpus(seed, size)
+	out := make([]Digest, n)
+	out[0] = mustHash(t, base)
+	r := rng.New(seed ^ 0xfeed)
+	for i := 1; i < n; i++ {
+		mut := append([]byte(nil), base...)
+		// A contiguous rewritten region grows with i: near-duplicates at
+		// graded similarity, the way real file revisions behave.
+		length := size / 12 * i
+		start := r.Intn(len(mut) - length)
+		r.Bytes(mut[start : start+length])
+		out[i] = mustHash(t, mut)
+	}
+	return out
+}
+
+func TestIndexFindsFamily(t *testing.T) {
+	ix := NewIndex()
+	fam := family(t, 1, 5, 30000)
+	for _, d := range fam {
+		ix.Add(d)
+	}
+	// Unrelated noise entries.
+	for i := 0; i < 30; i++ {
+		ix.Add(mustHash(t, corpus(uint64(100+i), 25000)))
+	}
+	matches := ix.Query(fam[0], 1)
+	if len(matches) < len(fam) {
+		t.Fatalf("query found %d matches, want >= %d (the family)", len(matches), len(fam))
+	}
+	if matches[0].ID != 0 || matches[0].Score != 100 {
+		t.Fatalf("best match should be the query itself: %+v", matches[0])
+	}
+}
+
+func TestIndexMatchesBruteForce(t *testing.T) {
+	ix := NewIndex()
+	var digests []Digest
+	for i := 0; i < 8; i++ {
+		digests = append(digests, family(t, uint64(10+i), 3, 20000+i*3000)...)
+	}
+	for _, d := range digests {
+		ix.Add(d)
+	}
+	for qi, q := range digests {
+		want := map[int]int{}
+		for id, d := range digests {
+			if s := Compare(q, d); s > 0 {
+				want[id] = s
+			}
+		}
+		got := map[int]int{}
+		for _, m := range ix.Query(q, 1) {
+			got[m.ID] = m.Score
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: index found %d matches, brute force %d", qi, len(got), len(want))
+		}
+		for id, s := range want {
+			if got[id] != s {
+				t.Fatalf("query %d entry %d: index score %d, brute force %d", qi, id, got[id], s)
+			}
+		}
+	}
+}
+
+func TestIndexMinScoreFilters(t *testing.T) {
+	ix := NewIndex()
+	fam := family(t, 3, 6, 40000)
+	for _, d := range fam {
+		ix.Add(d)
+	}
+	all := ix.Query(fam[0], 1)
+	strict := ix.Query(fam[0], 90)
+	if len(strict) >= len(all) {
+		t.Fatalf("minScore did not filter: %d vs %d", len(strict), len(all))
+	}
+	for _, m := range strict {
+		if m.Score < 90 {
+			t.Fatalf("match below minScore: %+v", m)
+		}
+	}
+}
+
+func TestIndexSortedByScore(t *testing.T) {
+	ix := NewIndex()
+	for _, d := range family(t, 4, 8, 35000) {
+		ix.Add(d)
+	}
+	matches := ix.Query(ix.Digest(0), 1)
+	for i := 1; i < len(matches); i++ {
+		if matches[i-1].Score < matches[i].Score {
+			t.Fatal("matches not sorted by descending score")
+		}
+	}
+}
+
+func TestIndexEmptyAndMisses(t *testing.T) {
+	ix := NewIndex()
+	q := mustHash(t, corpus(50, 10000))
+	if got := ix.Query(q, 1); len(got) != 0 {
+		t.Fatalf("empty index returned %d matches", len(got))
+	}
+	ix.Add(mustHash(t, corpus(51, 10000)))
+	if got := ix.Query(q, 1); len(got) != 0 {
+		t.Fatalf("unrelated query matched: %+v", got)
+	}
+}
+
+func TestIndexIdenticalShortDigests(t *testing.T) {
+	// Identical inputs too small for 7-gram signatures must still find
+	// each other through the exact-match path.
+	tiny := []byte("tiny")
+	d := mustHash(t, tiny)
+	ix := NewIndex()
+	id := ix.Add(d)
+	matches := ix.Query(d, 1)
+	if len(matches) != 1 || matches[0].ID != id || matches[0].Score != 100 {
+		t.Fatalf("identical short digest not found: %+v", matches)
+	}
+}
+
+func TestIndexDigestAccessor(t *testing.T) {
+	ix := NewIndex()
+	d := mustHash(t, corpus(60, 5000))
+	id := ix.Add(d)
+	if ix.Digest(id) != d {
+		t.Fatal("Digest accessor mismatch")
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestIndexRepeatedQueriesIndependent(t *testing.T) {
+	ix := NewIndex()
+	fam := family(t, 6, 4, 30000)
+	for _, d := range fam {
+		ix.Add(d)
+	}
+	first := ix.Query(fam[1], 1)
+	second := ix.Query(fam[1], 1)
+	if len(first) != len(second) {
+		t.Fatalf("repeated query changed results: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("repeated query changed results at %d", i)
+		}
+	}
+}
+
+func BenchmarkIndexQuery1000(b *testing.B) {
+	ix := NewIndex()
+	r := rng.New(1)
+	base := corpus(70, 30000)
+	for i := 0; i < 1000; i++ {
+		mut := append([]byte(nil), base...)
+		for j := 0; j < 50+i*5; j++ {
+			mut[r.Intn(len(mut))] ^= byte(j)
+		}
+		d, err := HashBytes(mut)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix.Add(d)
+	}
+	q, _ := HashBytes(base)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query(q, 50)
+	}
+}
+
+func BenchmarkIndexAdd(b *testing.B) {
+	digests := make([]Digest, 256)
+	for i := range digests {
+		var err error
+		digests[i], err = HashBytes(corpus(uint64(i), 20000))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := NewIndex()
+		for _, d := range digests {
+			ix.Add(d)
+		}
+	}
+}
