@@ -61,6 +61,7 @@ func Train(samples []dataset.Sample, cfg Config) (*Classifier, error) {
 
 	c := &Classifier{cfg: cfg, distance: dist, threshold: cfg.Threshold}
 	c.profiles = buildProfiles(samples, cfg.Features, classes)
+	c.profiles.bruteForce = cfg.BruteForceFeaturize
 
 	// Hyper-parameter and threshold tuning on an inner split of the
 	// training set (the paper tunes "only within the training set").
@@ -118,6 +119,15 @@ func (c *Classifier) SetThreshold(t float64) { c.threshold = t }
 // the threshold was fixed.
 func (c *Classifier) TuningCurve() []ThresholdScore {
 	return append([]ThresholdScore(nil), c.tuning...)
+}
+
+// SetBruteForceFeaturize toggles the brute-force featurisation oracle at
+// runtime. Both paths produce identical feature vectors (the grouped
+// index is exact); only the cost differs. The toggle is not
+// synchronised: do not call it while Featurize/Classify runs on another
+// goroutine.
+func (c *Classifier) SetBruteForceFeaturize(on bool) {
+	c.profiles.bruteForce = on
 }
 
 // Featurize exposes the similarity feature vector of a sample, mainly for

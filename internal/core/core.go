@@ -65,6 +65,12 @@ type Config struct {
 	// Distance selects the digest-comparison distance; default is the
 	// paper's Damerau–Levenshtein.
 	Distance DistanceName
+	// BruteForceFeaturize disables the grouped 7-gram index and
+	// featurises by scanning every training digest of every class — the
+	// original O(corpus) path. The index is exact, so predictions are
+	// identical either way; the scan is retained as the oracle for
+	// differential testing and for debugging the index itself.
+	BruteForceFeaturize bool
 	// Seed drives every random decision of training.
 	Seed uint64
 	// Workers bounds parallelism; <= 0 selects GOMAXPROCS.

@@ -9,24 +9,42 @@ import (
 )
 
 // classProfile is the fuzzy-hash signature set of one class for one
-// feature kind: the deduplicated digests of its training samples,
-// precompared-ready.
+// feature kind: the deduplicated digests of its training samples.
 type classProfile struct {
-	digests  []string // canonical digest strings (sorted, unique)
+	digests []string // canonical digest strings (sorted, unique)
+	parsed  []ssdeep.Digest
+	// prepared backs the brute-force oracle only; the indexed path keeps
+	// its own prepared state inside the index, so this is built lazily
+	// (profileSet.ensurePrepared) to avoid doubling per-digest memory.
 	prepared []ssdeep.Prepared
 }
 
 // profileSet holds, per feature kind, one profile per known class (class
-// index order).
+// index order), plus a grouped 7-gram index per kind with classes as
+// owner groups. Featurisation queries the index, visiting only training
+// digests that share a 7-gram with the sample; the per-class profile
+// scan is retained as the brute-force oracle.
 type profileSet struct {
 	features []dataset.FeatureKind
 	classes  []string
 	profiles map[dataset.FeatureKind][]classProfile
+	indexes  map[dataset.FeatureKind]*ssdeep.Index
+	// bruteForce switches featurize to the O(kinds × classes × digests)
+	// scan. The index is exact — the common-substring gate zeroes every
+	// pair it skips — so both paths produce identical vectors; the scan
+	// survives only as the differential-testing oracle.
+	bruteForce bool
+	// indexOnce and prepOnce guard the lazy construction of the grouped
+	// indexes and the oracle's prepared digests: each featurisation path
+	// builds only the structures it queries.
+	indexOnce sync.Once
+	prepOnce  sync.Once
 }
 
-// buildProfiles collects per-class digest profiles from training samples.
-// classIndex maps class name to label; samples of classes not present in
-// the index are ignored.
+// buildProfiles collects per-class digest profiles from training samples;
+// the per-kind grouped indexes are built lazily on first indexed
+// featurisation. classIndex maps class name to label; samples of classes
+// not present in the index are ignored.
 func buildProfiles(samples []dataset.Sample, features []dataset.FeatureKind, classes []string) *profileSet {
 	classIndex := make(map[string]int, len(classes))
 	for i, c := range classes {
@@ -55,24 +73,67 @@ func buildProfiles(samples []dataset.Sample, features []dataset.FeatureKind, cla
 		}
 		profiles := make([]classProfile, len(classes))
 		for ci, set := range sets {
-			p := classProfile{digests: make([]string, 0, len(set))}
+			all := make([]string, 0, len(set))
 			for s := range set {
-				p.digests = append(p.digests, s)
+				all = append(all, s)
 			}
-			sort.Strings(p.digests)
-			p.prepared = make([]ssdeep.Prepared, len(p.digests))
-			for i, s := range p.digests {
+			sort.Strings(all)
+			p := classProfile{
+				digests: make([]string, 0, len(all)),
+				parsed:  make([]ssdeep.Digest, 0, len(all)),
+			}
+			for _, s := range all {
 				d, err := ssdeep.Parse(s)
 				if err != nil {
-					continue // unreachable: digests came from ssdeep itself
+					// Drop the digest entirely: keeping the string while
+					// leaving a zero parsed slot would burn a comparison
+					// slot on every sample and poison Save/Load round-trips.
+					continue
 				}
-				p.prepared[i] = ssdeep.Prepare(d)
+				p.digests = append(p.digests, s)
+				p.parsed = append(p.parsed, d)
 			}
 			profiles[ci] = p
 		}
 		ps.profiles[kind] = profiles
 	}
 	return ps
+}
+
+// ensureIndexes derives the per-kind grouped similarity indexes from the
+// class profiles on first use; classes become owner groups, so one
+// grouped query yields the whole per-class score row of a feature
+// vector. Safe under featurizeBatch's worker pool.
+func (ps *profileSet) ensureIndexes() {
+	ps.indexOnce.Do(func() {
+		ps.indexes = make(map[dataset.FeatureKind]*ssdeep.Index, len(ps.features))
+		for _, kind := range ps.features {
+			ix := ssdeep.NewIndex()
+			for ci := range ps.profiles[kind] {
+				for _, d := range ps.profiles[kind][ci].parsed {
+					ix.AddGroup(d, ci)
+				}
+			}
+			ps.indexes[kind] = ix
+		}
+	})
+}
+
+// ensurePrepared builds the brute-force oracle's prepared digests on
+// first use. Safe under featurizeBatch's worker pool.
+func (ps *profileSet) ensurePrepared() {
+	ps.prepOnce.Do(func() {
+		for _, kind := range ps.features {
+			profiles := ps.profiles[kind]
+			for ci := range profiles {
+				p := &profiles[ci]
+				p.prepared = make([]ssdeep.Prepared, len(p.parsed))
+				for i, d := range p.parsed {
+					p.prepared[i] = ssdeep.Prepare(d)
+				}
+			}
+		}
+	})
 }
 
 // numFeatures is the featurised dimensionality: |kinds| x |classes|.
@@ -84,8 +145,15 @@ func (ps *profileSet) numFeatures() int {
 // feature kind and each known class, the highest similarity between the
 // sample's digest and any training digest of that class. This realises
 // the paper's "feature matrix ... based on the SSDeep fuzzy hash
-// similarity between sample features".
+// similarity between sample features". The digest is prepared once and
+// one grouped index query produces the per-class row, sublinear in the
+// corpus size.
 func (ps *profileSet) featurize(s *dataset.Sample, dist ssdeep.DistanceFunc) []float64 {
+	if ps.bruteForce {
+		ps.ensurePrepared()
+	} else {
+		ps.ensureIndexes()
+	}
 	out := make([]float64, 0, ps.numFeatures())
 	for _, kind := range ps.features {
 		d := s.Digests[kind]
@@ -95,19 +163,34 @@ func (ps *profileSet) featurize(s *dataset.Sample, dist ssdeep.DistanceFunc) []f
 			}
 			continue
 		}
-		prep := ssdeep.Prepare(d)
-		for ci := range ps.classes {
-			best := 0
-			for _, q := range ps.profiles[kind][ci].prepared {
-				if score := ssdeep.ComparePrepared(prep, q, dist); score > best {
-					best = score
-					if best == 100 {
-						break
-					}
+		q := ssdeep.Prepare(d)
+		if ps.bruteForce {
+			out = ps.appendBruteForceRow(out, kind, q, dist)
+			continue
+		}
+		for _, score := range ps.indexes[kind].QueryGroupsPrepared(q, len(ps.classes), dist) {
+			out = append(out, float64(score))
+		}
+	}
+	return out
+}
+
+// appendBruteForceRow scores one prepared sample digest against every
+// training digest of every class — the original full-scan featurisation,
+// kept as the oracle the indexed path is differentially tested against
+// (and reachable in production via Config.BruteForceFeaturize).
+func (ps *profileSet) appendBruteForceRow(out []float64, kind dataset.FeatureKind, prep ssdeep.Prepared, dist ssdeep.DistanceFunc) []float64 {
+	for ci := range ps.classes {
+		best := 0
+		for _, q := range ps.profiles[kind][ci].prepared {
+			if score := ssdeep.ComparePrepared(prep, q, dist); score > best {
+				best = score
+				if best == 100 {
+					break
 				}
 			}
-			out = append(out, float64(best))
 		}
+		out = append(out, float64(best))
 	}
 	return out
 }

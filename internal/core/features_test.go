@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/ssdeep"
+)
+
+// paperKinds are the three fuzzy-hash features of the paper.
+var paperKinds = []dataset.FeatureKind{
+	dataset.FeatureFile, dataset.FeatureStrings, dataset.FeatureSymbols,
+}
+
+// classesOf collects the sorted distinct classes of a sample set the way
+// Train does.
+func classesOf(samples []dataset.Sample) []string {
+	set := map[string]bool{}
+	for i := range samples {
+		set[samples[i].Class] = true
+	}
+	classes := make([]string, 0, len(set))
+	for c := range set {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	return classes
+}
+
+// TestFeaturizeIndexedMatchesBruteForce is the differential test behind
+// the index-backed hot path: over the full synthetic corpus (training
+// and held-out samples alike) and all three scoring distances, the
+// grouped-index featurisation must reproduce the brute-force vectors
+// bit for bit.
+func TestFeaturizeIndexedMatchesBruteForce(t *testing.T) {
+	samples, split := testData(t)
+	train := gather(samples, split.TrainIdx)
+	classes := classesOf(train)
+	for _, dn := range []DistanceName{DistanceDL, DistanceLevenshtein, DistanceSpamsum} {
+		dist, err := dn.Func()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := buildProfiles(train, paperKinds, classes)
+		for i := range samples {
+			ps.bruteForce = false
+			indexed := ps.featurize(&samples[i], dist)
+			ps.bruteForce = true
+			brute := ps.featurize(&samples[i], dist)
+			if len(indexed) != len(brute) {
+				t.Fatalf("distance %s sample %d: vector lengths %d vs %d", dn, i, len(indexed), len(brute))
+			}
+			for j := range indexed {
+				if indexed[j] != brute[j] {
+					t.Fatalf("distance %s sample %d column %d: indexed %v, brute force %v",
+						dn, i, j, indexed[j], brute[j])
+				}
+			}
+		}
+	}
+}
+
+// TestFeaturizeBatchMatchesSingle guards the concurrency of the shared
+// grouped indexes: parallel batch featurisation must equal the serial
+// per-sample path.
+func TestFeaturizeBatchMatchesSingle(t *testing.T) {
+	samples, split := testData(t)
+	train := gather(samples, split.TrainIdx)
+	ps := buildProfiles(train, paperKinds, classesOf(train))
+	batch := ps.featurizeBatch(samples, ssdeep.DistanceDL, 8)
+	for i := range samples {
+		single := ps.featurize(&samples[i], ssdeep.DistanceDL)
+		for j := range single {
+			if batch[i][j] != single[j] {
+				t.Fatalf("sample %d column %d: batch %v, single %v", i, j, batch[i][j], single[j])
+			}
+		}
+	}
+}
+
+// TestBuildProfilesDropsUnparseableDigests is the regression test for
+// the silent-zero-Prepared bug: a digest whose canonical string fails to
+// re-parse (block size below the minimum) used to leave a zero-valued
+// Prepared in the profile that every sample was then compared against,
+// and poisoned Save/Load round-trips. The slot must be dropped from both
+// the digest strings and the prepared set.
+func TestBuildProfilesDropsUnparseableDigests(t *testing.T) {
+	good := mustDigest(t, "valid-but-distinctive-content-AAAA")
+	bad := ssdeep.Digest{BlockSize: 1, Sig1: "abcdefgh", Sig2: "ijkl"} // below MinBlockSize
+	if _, err := ssdeep.Parse(bad.String()); err == nil {
+		t.Fatal("test premise broken: bad digest parsed")
+	}
+	samples := []dataset.Sample{
+		sampleWith(t, "A", good),
+		sampleWith(t, "A", bad),
+		sampleWith(t, "B", mustDigest(t, "other-class-content-BBBB")),
+	}
+	ps := buildProfiles(samples, []dataset.FeatureKind{dataset.FeatureFile}, []string{"A", "B"})
+	ps.ensureIndexes()
+	ps.ensurePrepared()
+	p := ps.profiles[dataset.FeatureFile][0]
+	if len(p.digests) != 1 || len(p.parsed) != 1 || len(p.prepared) != 1 {
+		t.Fatalf("class A profile kept %d digests / %d parsed / %d prepared, want 1/1/1",
+			len(p.digests), len(p.parsed), len(p.prepared))
+	}
+	if p.digests[0] != good.String() {
+		t.Fatalf("class A kept %q, want %q", p.digests[0], good.String())
+	}
+	if p.prepared[0].IsZero() {
+		t.Fatal("class A prepared slot is zero-valued")
+	}
+	if got := ps.indexes[dataset.FeatureFile].Len(); got != 2 {
+		t.Fatalf("index holds %d entries, want 2 (the parseable digests)", got)
+	}
+}
+
+// TestConfigBruteForceFeaturize drives the oracle flag end to end: a
+// classifier trained with BruteForceFeaturize must predict identically
+// to the default indexed one, and the runtime toggle must not change a
+// trained model's feature vectors.
+func TestConfigBruteForceFeaturize(t *testing.T) {
+	samples, split := testData(t)
+	train := gather(samples, split.TrainIdx)
+	test := gather(samples, split.TestIdx)
+
+	indexed, err := Train(train, fixedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fixedConfig()
+	cfg.BruteForceFeaturize = true
+	brute, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range test {
+		a, b := indexed.Classify(&test[i]), brute.Classify(&test[i])
+		if a != b {
+			t.Fatalf("sample %d: indexed %+v, brute force %+v", i, a, b)
+		}
+	}
+
+	want := indexed.Featurize(&test[0])
+	indexed.SetBruteForceFeaturize(true)
+	got := indexed.Featurize(&test[0])
+	indexed.SetBruteForceFeaturize(false)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("runtime toggle changed feature %d: %v vs %v", j, got[j], want[j])
+		}
+	}
+}
+
+func mustDigest(t *testing.T, content string) ssdeep.Digest {
+	t.Helper()
+	d, err := ssdeep.HashString(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func sampleWith(t *testing.T, class string, d ssdeep.Digest) dataset.Sample {
+	t.Helper()
+	s := dataset.Sample{Class: class}
+	s.Digests[dataset.FeatureFile] = d
+	return s
+}

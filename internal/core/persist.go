@@ -10,13 +10,13 @@ import (
 	"repro/ssdeep"
 )
 
-// parseDigest parses a stored digest string into prepared form.
-func parseDigest(s string) (ssdeep.Prepared, error) {
+// parseDigest parses and validates a stored digest string.
+func parseDigest(s string) (ssdeep.Digest, error) {
 	d, err := ssdeep.Parse(s)
 	if err != nil {
-		return ssdeep.Prepared{}, fmt.Errorf("core: model digest %q: %w", s, err)
+		return ssdeep.Digest{}, fmt.Errorf("core: model digest %q: %w", s, err)
 	}
-	return ssdeep.Prepare(d), nil
+	return d, nil
 }
 
 // modelVersion tags the persisted format.
@@ -123,7 +123,7 @@ func Load(r io.Reader) (*Classifier, error) {
 				if err != nil {
 					return nil, err
 				}
-				p.prepared = append(p.prepared, d)
+				p.parsed = append(p.parsed, d)
 			}
 			profiles[ci] = p
 		}

@@ -1,6 +1,15 @@
 package ssdeep
 
-import "sort"
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// NoGroup marks an index entry that belongs to no owner group; grouped
+// queries skip it.
+const NoGroup = -1
 
 // Index is a similarity-search structure over many fuzzy digests.
 // Entries are bucketed by block size, and each bucket keeps an inverted
@@ -11,13 +20,21 @@ import "sort"
 // touches only genuine candidates instead of the whole corpus.
 //
 // This is the digest-matching mode of the original ssdeep tool,
-// generalised to an in-memory structure. The classifier's profile
-// featurisation has its own per-class layout; Index serves corpus-level
-// queries: near-duplicate discovery, cross-class label auditing
-// (the paper's CellRanger vs Cell-Ranger case) and ad-hoc lookups.
+// generalised to an in-memory structure. Index serves two workloads:
+// corpus-level queries (near-duplicate discovery, cross-class label
+// auditing — the paper's CellRanger vs Cell-Ranger case — and ad-hoc
+// lookups) via Query, and the classifier's profile featurisation via
+// grouped queries: entries added with AddGroup carry an owner-group id,
+// and QueryGroupsDistance returns the best score per group in one pass
+// over the candidates.
+//
+// An Index is safe for concurrent queries; Add/AddGroup must not run
+// concurrently with queries or each other.
 type Index struct {
 	entries []Prepared
 	digests []Digest
+	// groups holds the owner-group id of each entry, NoGroup if none.
+	groups []int32
 	// buckets maps block size -> gram hash -> entry ids. For each entry
 	// both signatures are indexed: Sig1 under its block size and Sig2
 	// under twice that, mirroring how comparison pairs signatures.
@@ -25,9 +42,9 @@ type Index struct {
 	// exact maps the normalised digest string to ids, covering identical
 	// digests whose signatures are too short to carry any 7-gram.
 	exact map[string][]int32
-	// stamp supports O(1) candidate deduplication per query.
-	stamp   []uint32
-	queryID uint32
+	// scratchPool recycles per-query visited-entry stamps, keeping
+	// candidate deduplication O(1) without serialising queries.
+	scratchPool sync.Pool
 }
 
 // NewIndex returns an empty index.
@@ -44,24 +61,38 @@ func (ix *Index) Len() int { return len(ix.entries) }
 // Digest returns the id-th indexed digest.
 func (ix *Index) Digest(id int) Digest { return ix.digests[id] }
 
-// Add indexes d and returns its id.
+// Group returns the owner-group id of the id-th entry, NoGroup if none.
+func (ix *Index) Group(id int) int { return int(ix.groups[id]) }
+
+// Add indexes d with no owner group and returns its id.
 func (ix *Index) Add(d Digest) int {
+	return ix.AddGroup(d, NoGroup)
+}
+
+// AddGroup indexes d under the owner group id group (NoGroup for none)
+// and returns its entry id. Grouped queries report, per group, the best
+// score over the entries owned by that group.
+func (ix *Index) AddGroup(d Digest, group int) int {
+	if group < NoGroup || group > math.MaxInt32 {
+		panic("ssdeep: group id out of range")
+	}
 	id := int32(len(ix.entries))
 	p := Prepare(d)
 	ix.entries = append(ix.entries, p)
 	ix.digests = append(ix.digests, d)
-	ix.stamp = append(ix.stamp, 0)
+	ix.groups = append(ix.groups, int32(group))
 
-	ix.post(p.BlockSize, p.sig1, id)
-	ix.post(2*p.BlockSize, p.sig2, id)
+	ix.post(p.BlockSize, p.grams1, id)
+	ix.post(2*p.BlockSize, p.grams2, id)
 	key := exactKey(p)
 	ix.exact[key] = append(ix.exact[key], id)
 	return int(id)
 }
 
-// post adds every 7-gram of sig to the bucket of size bs.
-func (ix *Index) post(bs uint32, sig string, id int32) {
-	if len(sig) < rollingWindow {
+// post adds every 7-gram hash of one prepared signature (as computed by
+// Prepare) to the bucket of size bs.
+func (ix *Index) post(bs uint32, grams []uint32, id int32) {
+	if len(grams) == 0 {
 		return
 	}
 	bucket := ix.buckets[bs]
@@ -70,7 +101,7 @@ func (ix *Index) post(bs uint32, sig string, id int32) {
 		ix.buckets[bs] = bucket
 	}
 	seen := map[uint32]bool{}
-	for _, h := range gramHashes(sig, nil) {
+	for _, h := range grams {
 		if seen[h] {
 			continue // one posting per distinct gram per entry
 		}
@@ -79,8 +110,41 @@ func (ix *Index) post(bs uint32, sig string, id int32) {
 	}
 }
 
+// exactKey renders the comparison-relevant state of a digest as a map
+// key. The block size is encoded in decimal: converting it through
+// string(rune(...)) would fold every block size beyond the valid rune
+// range (3·2^19 and up) onto U+FFFD, colliding keys across distinct
+// block sizes. Signatures never contain NUL, so "\x00" separates
+// unambiguously.
 func exactKey(p Prepared) string {
-	return p.sig1 + "\x00" + p.sig2 + "\x00" + string(rune(p.BlockSize))
+	return strconv.FormatUint(uint64(p.BlockSize), 10) + "\x00" + p.sig1 + "\x00" + p.sig2
+}
+
+// queryScratch is the per-query candidate-deduplication state: an entry
+// is considered at most once per query when its stamp equals the query's
+// mark.
+type queryScratch struct {
+	stamp []uint32
+	mark  uint32
+}
+
+// scratch leases deduplication state sized to the current entry count.
+// Callers return it with ix.scratchPool.Put when the query is done.
+func (ix *Index) scratch() *queryScratch {
+	s, _ := ix.scratchPool.Get().(*queryScratch)
+	if s == nil {
+		s = &queryScratch{}
+	}
+	if len(s.stamp) < len(ix.entries) {
+		s.stamp = make([]uint32, len(ix.entries))
+		s.mark = 0
+	}
+	s.mark++
+	if s.mark == 0 { // mark wrapped: stamps are ambiguous, reset them
+		clear(s.stamp)
+		s.mark = 1
+	}
+	return s
 }
 
 // Match is one similarity-search hit.
@@ -100,33 +164,24 @@ func (ix *Index) Query(d Digest, minScore int) []Match {
 
 // QueryDistance is Query with an explicit signature distance.
 func (ix *Index) QueryDistance(d Digest, minScore int, dist DistanceFunc) []Match {
+	return ix.QueryPreparedDistance(Prepare(d), minScore, dist)
+}
+
+// QueryPreparedDistance is QueryDistance over an already-prepared query
+// digest, sparing repeated callers the preparation cost.
+func (ix *Index) QueryPreparedDistance(q Prepared, minScore int, dist DistanceFunc) []Match {
 	if minScore < 1 {
 		minScore = 1
 	}
-	q := Prepare(d)
-	ix.queryID++
-	mark := ix.queryID
+	s := ix.scratch()
+	defer ix.scratchPool.Put(s)
 
 	var out []Match
-	consider := func(id int32) {
-		if ix.stamp[id] == mark {
-			return
-		}
-		ix.stamp[id] = mark
+	ix.visit(q, s, func(id int32) {
 		if score := ComparePrepared(q, ix.entries[id], dist); score >= minScore {
 			out = append(out, Match{ID: int(id), Score: score})
 		}
-	}
-
-	// Candidate generation: pair each query signature with the bucket it
-	// would be compared against. Sig1 lives at BlockSize, Sig2 at twice
-	// that; comparison crosses buckets exactly when block sizes differ by
-	// a factor of two, which the bucket keys already encode.
-	ix.collect(q.BlockSize, q.grams1, consider)
-	ix.collect(2*q.BlockSize, q.grams2, consider)
-	for _, id := range ix.exact[exactKey(q)] {
-		consider(id)
-	}
+	})
 
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
@@ -135,6 +190,69 @@ func (ix *Index) QueryDistance(d Digest, minScore int, dist DistanceFunc) []Matc
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+// QueryGroups returns, for each owner group in [0, numGroups), the best
+// similarity between d and any entry of that group, using the default
+// Damerau–Levenshtein scoring. Groups with no entry sharing a 7-gram
+// (or exact match) with d score 0 — exactly what a full scan would
+// report, since the common-substring gate zeroes every skipped pair.
+func (ix *Index) QueryGroups(d Digest, numGroups int) []int {
+	return ix.QueryGroupsDistance(d, numGroups, DistanceDL)
+}
+
+// QueryGroupsDistance is QueryGroups with an explicit signature distance.
+func (ix *Index) QueryGroupsDistance(d Digest, numGroups int, dist DistanceFunc) []int {
+	return ix.QueryGroupsPrepared(Prepare(d), numGroups, dist)
+}
+
+// QueryGroupsPrepared is QueryGroupsDistance over an already-prepared
+// query digest. The hot path of classifier featurisation: one call per
+// (sample, feature kind) replaces a scan of every training digest of
+// every class, and the digest is prepared once instead of once per class.
+func (ix *Index) QueryGroupsPrepared(q Prepared, numGroups int, dist DistanceFunc) []int {
+	if numGroups <= 0 {
+		return nil
+	}
+	out := make([]int, numGroups)
+	if q.IsZero() {
+		return out
+	}
+	s := ix.scratch()
+	defer ix.scratchPool.Put(s)
+
+	ix.visit(q, s, func(id int32) {
+		g := ix.groups[id]
+		if g < 0 || int(g) >= numGroups || out[g] == 100 {
+			return
+		}
+		if score := ComparePrepared(q, ix.entries[id], dist); score > out[g] {
+			out[g] = score
+		}
+	})
+	return out
+}
+
+// visit feeds every candidate entry for q — gram-sharing entries in the
+// comparable block-size buckets plus exact-digest matches — to consider,
+// each at most once.
+func (ix *Index) visit(q Prepared, s *queryScratch, consider func(int32)) {
+	once := func(id int32) {
+		if s.stamp[id] == s.mark {
+			return
+		}
+		s.stamp[id] = s.mark
+		consider(id)
+	}
+	// Candidate generation: pair each query signature with the bucket it
+	// would be compared against. Sig1 lives at BlockSize, Sig2 at twice
+	// that; comparison crosses buckets exactly when block sizes differ by
+	// a factor of two, which the bucket keys already encode.
+	ix.collect(q.BlockSize, q.grams1, once)
+	ix.collect(2*q.BlockSize, q.grams2, once)
+	for _, id := range ix.exact[exactKey(q)] {
+		once(id)
+	}
 }
 
 // collect feeds every entry sharing a gram with the query signature in

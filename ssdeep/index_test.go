@@ -1,6 +1,8 @@
 package ssdeep
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/rng"
@@ -158,6 +160,155 @@ func TestIndexRepeatedQueriesIndependent(t *testing.T) {
 		if first[i] != second[i] {
 			t.Fatalf("repeated query changed results at %d", i)
 		}
+	}
+}
+
+func TestExactKeyDistinguishesLargeBlockSizes(t *testing.T) {
+	// Regression: exactKey used to encode the block size as string(rune(bs)),
+	// which folds every block size beyond the valid rune range (3·2^19 and
+	// up) onto U+FFFD, colliding keys across distinct block sizes.
+	const bs1, bs2 = 3 << 19, 3 << 20
+	a := Prepare(Digest{BlockSize: bs1, Sig1: "abc", Sig2: "de"})
+	b := Prepare(Digest{BlockSize: bs2, Sig1: "abc", Sig2: "de"})
+	if exactKey(a) == exactKey(b) {
+		t.Fatalf("exact keys collide across block sizes %d and %d", bs1, bs2)
+	}
+	ix := NewIndex()
+	ix.Add(Digest{BlockSize: bs1, Sig1: "abc", Sig2: "de"})
+	ix.Add(Digest{BlockSize: bs2, Sig1: "abc", Sig2: "de"})
+	if len(ix.exact) != 2 {
+		t.Fatalf("exact map has %d buckets, want 2 (one per block size)", len(ix.exact))
+	}
+}
+
+// groupedCorpus indexes families of related digests, each family owning
+// one group, and returns the digests with their group assignment.
+func groupedCorpus(t *testing.T, ix *Index, nGroups, perGroup, size int) ([]Digest, []int) {
+	t.Helper()
+	var digests []Digest
+	var groups []int
+	for g := 0; g < nGroups; g++ {
+		for _, d := range family(t, uint64(20+g), perGroup, size+g*2000) {
+			ix.AddGroup(d, g)
+			digests = append(digests, d)
+			groups = append(groups, g)
+		}
+	}
+	return digests, groups
+}
+
+func TestQueryGroupsMatchesBruteForce(t *testing.T) {
+	for _, dist := range []DistanceFunc{DistanceDL, DistanceLevenshtein, DistanceSpamsum} {
+		ix := NewIndex()
+		const nGroups = 5
+		digests, groups := groupedCorpus(t, ix, nGroups, 4, 20000)
+		for qi, q := range digests {
+			want := make([]int, nGroups)
+			for i, d := range digests {
+				if s := CompareDistance(q, d, dist); s > want[groups[i]] {
+					want[groups[i]] = s
+				}
+			}
+			got := ix.QueryGroupsDistance(q, nGroups, dist)
+			for g := range want {
+				if got[g] != want[g] {
+					t.Fatalf("query %d group %d: index score %d, brute force %d", qi, g, got[g], want[g])
+				}
+			}
+		}
+	}
+}
+
+func TestQueryGroupsEmptyGroups(t *testing.T) {
+	ix := NewIndex()
+	q := mustHash(t, corpus(80, 20000))
+	// Empty index: every group scores zero.
+	for g, s := range ix.QueryGroups(q, 3) {
+		if s != 0 {
+			t.Fatalf("empty index scored %d for group %d", s, g)
+		}
+	}
+	// Entries exist but only in group 0; groups 1 and 2 stay empty.
+	ix.AddGroup(q, 0)
+	got := ix.QueryGroups(q, 3)
+	if got[0] != 100 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("QueryGroups = %v, want [100 0 0]", got)
+	}
+	// Zero or negative groups requested: empty result, no panic.
+	if got := ix.QueryGroups(q, 0); len(got) != 0 {
+		t.Fatalf("QueryGroups with 0 groups returned %v", got)
+	}
+	if got := ix.QueryGroups(q, -1); len(got) != 0 {
+		t.Fatalf("QueryGroups with -1 groups returned %v", got)
+	}
+	// A zero query digest scores nothing anywhere.
+	for g, s := range ix.QueryGroups(Digest{}, 3) {
+		if s != 0 {
+			t.Fatalf("zero digest scored %d for group %d", s, g)
+		}
+	}
+}
+
+func TestQueryGroupsShortSignatures(t *testing.T) {
+	// Digests of tiny inputs carry no 7-gram; the exact-match path must
+	// still credit the owning group, and only it, with 100.
+	d := mustHash(t, []byte("tiny"))
+	other := mustHash(t, []byte("x"))
+	ix := NewIndex()
+	ix.AddGroup(d, 1)
+	ix.AddGroup(other, 0)
+	got := ix.QueryGroups(d, 2)
+	if got[0] != 0 || got[1] != 100 {
+		t.Fatalf("QueryGroups = %v, want [0 100]", got)
+	}
+}
+
+func TestQueryGroupsIgnoresUngroupedEntries(t *testing.T) {
+	ix := NewIndex()
+	d := mustHash(t, corpus(81, 20000))
+	ix.Add(d) // no owner group
+	for g, s := range ix.QueryGroups(d, 2) {
+		if s != 0 {
+			t.Fatalf("ungrouped entry scored %d for group %d", s, g)
+		}
+	}
+	if ix.Group(0) != NoGroup {
+		t.Fatalf("Group(0) = %d, want NoGroup", ix.Group(0))
+	}
+}
+
+func TestIndexConcurrentQueries(t *testing.T) {
+	ix := NewIndex()
+	const nGroups = 4
+	digests, _ := groupedCorpus(t, ix, nGroups, 4, 25000)
+	type result struct {
+		matches []Match
+		scores  []int
+	}
+	serial := make([]result, len(digests))
+	for i, d := range digests {
+		serial[i] = result{ix.Query(d, 1), ix.QueryGroups(d, nGroups)}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, len(digests))
+	for i, d := range digests {
+		wg.Add(1)
+		go func(i int, d Digest) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				m := ix.Query(d, 1)
+				g := ix.QueryGroups(d, nGroups)
+				if !reflect.DeepEqual(m, serial[i].matches) || !reflect.DeepEqual(g, serial[i].scores) {
+					errs <- "concurrent query diverged from serial result"
+					return
+				}
+			}
+		}(i, d)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, open := <-errs; open {
+		t.Fatal(msg)
 	}
 }
 
