@@ -297,6 +297,62 @@ func BenchmarkClassifyThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineThroughput measures the serving engine against the
+// paths it wraps. "warm" is the duplicate-submission common case — every
+// prediction served from the exact-hash cache; "uncached" is the direct
+// per-sample Classify it replaces (the warm/uncached ratio is the
+// acceptance bar for caching); "cold-batched" pushes the whole test set
+// through the micro-batcher with caching disabled, against
+// "batch-direct", the classifier's own ClassifyBatch on the same stream.
+func BenchmarkEngineThroughput(b *testing.B) {
+	p := benchPipeline(b)
+
+	b.Run("warm", func(b *testing.B) {
+		eng := NewEngine(p.Classifier, EngineOptions{})
+		defer eng.Close()
+		for i := range p.Test {
+			eng.Classify(&p.Test[i]) // prime the cache
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Classify(&p.Test[i%len(p.Test)])
+		}
+		b.StopTimer()
+		if st := eng.Stats(); st.Hits < uint64(b.N) {
+			b.Fatalf("warm run missed the cache: %+v", st)
+		}
+	})
+
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Classifier.Classify(&p.Test[i%len(p.Test)])
+		}
+	})
+
+	b.Run("cold-batched", func(b *testing.B) {
+		eng := NewEngine(p.Classifier, EngineOptions{CacheEntries: -1})
+		defer eng.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.ClassifyAll(p.Test)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(len(p.Test)), "samples/op")
+	})
+
+	b.Run("batch-direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Classifier.ClassifyBatch(p.Test)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(len(p.Test)), "samples/op")
+	})
+}
+
 // BenchmarkFeaturize times similarity-feature extraction for one sample
 // against all class profiles, on the default (index-backed) path.
 func BenchmarkFeaturize(b *testing.B) {

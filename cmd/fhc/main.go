@@ -16,6 +16,7 @@
 //	fhc classify -model FILE BINARY...
 //	fhc report   -corpus DIR -model FILE [-format text|csv|md]
 //	fhc dups     [-min SCORE] [-feature NAME] [-within] DIR
+//	fhc serve    -model FILE [-policy FILE] [-input FILE] [-batch N] [-latency D] [-cache N] [-stats]
 package main
 
 import (

@@ -269,12 +269,65 @@ func TestCmdDups(t *testing.T) {
 	}
 }
 
+func TestCmdServe(t *testing.T) {
+	dir, binary := makeTree(t)
+	model := filepath.Join(t.TempDir(), "model.json")
+	if _, err := withStdout(t, func() error {
+		return cmdTrain([]string{"-corpus", dir, "-model", model, "-threshold", "0.3", "-trees", "40"})
+	}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+
+	policy := filepath.Join(t.TempDir(), "policy.json")
+	if err := os.WriteFile(policy, []byte(`{"allowed_by_account":{"bio-1":["AppOne"]},"blocklist":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	lines := []string{
+		`{"job_id":"1","user":"alice","account":"bio-1","exe":"a","path":"` + binary + `"}`,
+		`{not json`, // malformed line: error slot, stream continues
+		// The same binary again: must be served from the caches.
+		`{"job_id":"2","user":"alice","account":"bio-1","exe":"b","path":"` + binary + `"}`,
+		`{"job_id":"3","user":"bob","exe":"c"}`, // no content: error slot
+	}
+	if err := os.WriteFile(events, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := withStdout(t, func() error {
+		return cmdServe([]string{"-model", model, "-policy", policy, "-input", events, "-chunk", "2"})
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	got := strings.Split(strings.TrimSpace(out), "\n")
+	if len(got) != len(lines) {
+		t.Fatalf("serve emitted %d results for %d events:\n%s", len(got), len(lines), out)
+	}
+	if !strings.Contains(got[0], `"label":"AppOne"`) || !strings.Contains(got[0], `"job_id":"1"`) {
+		t.Fatalf("first result: %s", got[0])
+	}
+	if !strings.Contains(got[1], `"error"`) || strings.Contains(got[1], `"label"`) {
+		t.Fatalf("malformed line not reported as an error slot: %s", got[1])
+	}
+	if !strings.Contains(got[2], `"cached":true`) || !strings.Contains(got[2], `"job_id":"2"`) {
+		t.Fatalf("duplicate submission not cached: %s", got[2])
+	}
+	if !strings.Contains(got[3], `"error"`) || !strings.Contains(got[3], `"job_id":"3"`) {
+		t.Fatalf("content-less event not reported in order: %s", got[3])
+	}
+
+	if err := cmdServe([]string{"-input", events}); err == nil {
+		t.Error("serve without -model accepted")
+	}
+}
+
 func TestCommandsRegistered(t *testing.T) {
 	names := map[string]bool{}
 	for _, c := range commands() {
 		names[c.name] = true
 	}
-	for _, want := range []string{"corpus", "hash", "compare", "strings", "nm", "ldd", "scan", "train", "classify", "report", "dups"} {
+	for _, want := range []string{"corpus", "hash", "compare", "strings", "nm", "ldd", "scan", "train", "classify", "report", "dups", "serve"} {
 		if !names[want] {
 			t.Errorf("command %q not registered", want)
 		}

@@ -1,0 +1,249 @@
+package main
+
+// The serve subcommand runs the paper's Figure 1 workflow as an
+// always-on service: job events arrive as JSON lines, each naming an
+// executable by path or carrying its content inline; the collector
+// deduplicates extraction by exact hash, the serving engine micro-batches
+// classification behind a prediction cache, and the monitor applies
+// allocation policy. One prediction (plus findings) is emitted per event,
+// as JSON lines, in input order.
+//
+// Event input, one JSON object per line:
+//
+//	{"job_id":"1","user":"alice","account":"bio-1","job_name":"run",
+//	 "exe":"blastn","path":"/tmp/blastn"}
+//	{"job_id":"2","user":"bob","exe":"a.out","binary_b64":"f0VMRg..."}
+//
+// Policy file (optional, -policy):
+//
+//	{"allowed_by_account":{"bio-1":["BLAST"]},"blocklist":["XMRig"]}
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/monitor"
+	"repro/internal/serve"
+)
+
+func init() {
+	extraCommands = append(extraCommands, command{
+		"serve", "classify a stream of job events through the batching engine", cmdServe,
+	})
+}
+
+// serveEvent is one JSON-lines job event.
+type serveEvent struct {
+	JobID     string `json:"job_id"`
+	User      string `json:"user"`
+	Account   string `json:"account"`
+	JobName   string `json:"job_name"`
+	Exe       string `json:"exe"`
+	Path      string `json:"path,omitempty"`
+	BinaryB64 string `json:"binary_b64,omitempty"`
+}
+
+// serveResult is one JSON-lines prediction.
+type serveResult struct {
+	JobID      string         `json:"job_id"`
+	Label      string         `json:"label,omitempty"`
+	Class      string         `json:"class,omitempty"`
+	Confidence float64        `json:"confidence,omitempty"`
+	Cached     bool           `json:"cached,omitempty"`
+	Findings   []serveFinding `json:"findings,omitempty"`
+	Error      string         `json:"error,omitempty"`
+}
+
+type serveFinding struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+// servePolicy is the on-disk policy format.
+type servePolicy struct {
+	AllowedByAccount map[string][]string `json:"allowed_by_account"`
+	Blocklist        []string            `json:"blocklist"`
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	modelPath := fs.String("model", "", "model file (required)")
+	policyPath := fs.String("policy", "", "JSON policy file (optional)")
+	input := fs.String("input", "-", "event stream: a JSON-lines file, or - for stdin")
+	batch := fs.Int("batch", 0, "micro-batch window size (0 = engine default)")
+	latency := fs.Duration("latency", 0, "micro-batch latency bound (0 = engine default)")
+	workers := fs.Int("workers", 0, "concurrent batch executors (0 = engine default)")
+	cacheSize := fs.Int("cache", 0, "prediction-cache entries (0 = default, negative disables)")
+	chunk := fs.Int("chunk", 256, "events observed per window; bounds memory and goroutines")
+	stats := fs.Bool("stats", false, "print engine and collector statistics to stderr at EOF")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return errors.New("-model is required")
+	}
+	if *chunk < 1 {
+		return errors.New("-chunk must be at least 1")
+	}
+
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	clf, err := core.Load(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+
+	var policy monitor.Policy
+	if *policyPath != "" {
+		raw, err := os.ReadFile(*policyPath)
+		if err != nil {
+			return err
+		}
+		var sp servePolicy
+		if err := json.Unmarshal(raw, &sp); err != nil {
+			return fmt.Errorf("policy %s: %w", *policyPath, err)
+		}
+		policy = monitor.Policy{AllowedByAccount: sp.AllowedByAccount, Blocklist: sp.Blocklist}
+	}
+
+	in := os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	engine := serve.New(clf, serve.Options{
+		BatchSize:    *batch,
+		MaxLatency:   *latency,
+		Workers:      *workers,
+		CacheEntries: *cacheSize,
+	})
+	defer engine.Close()
+	mon := monitor.New(engine, policy)
+	coll := collector.New(collector.Options{})
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+
+	// One window of decoded events, flushed through ObserveAll so the
+	// engine sees the whole burst at once. Events that failed collection
+	// keep a result slot (obsIndex -1) so output order matches input
+	// order.
+	var pending []monitor.Event
+	var results []serveResult
+	var obsIndex []int
+	var cachedFlags []bool
+	flush := func() error {
+		var obs []monitor.Observation
+		if len(pending) > 0 {
+			obs = mon.ObserveAll(pending)
+		}
+		for i := range results {
+			if j := obsIndex[i]; j >= 0 {
+				o := obs[j]
+				results[i].Label = o.Prediction.Label
+				results[i].Class = o.Prediction.Class
+				results[i].Confidence = o.Prediction.Confidence
+				results[i].Cached = cachedFlags[j]
+				for _, f := range o.Findings {
+					results[i].Findings = append(results[i].Findings, serveFinding{
+						Kind: f.Kind.String(), Message: f.Message,
+					})
+				}
+			}
+			if err := enc.Encode(&results[i]); err != nil {
+				return err
+			}
+		}
+		pending, results = pending[:0], results[:0]
+		obsIndex, cachedFlags = obsIndex[:0], cachedFlags[:0]
+		return out.Flush()
+	}
+
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 0, 1<<20), 64<<20) // inline binaries are large
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev serveEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			results = append(results, serveResult{JobID: ev.JobID,
+				Error: fmt.Sprintf("line %d: %v", lineNo, err)})
+			obsIndex = append(obsIndex, -1)
+			continue
+		}
+		bin, err := eventBinary(&ev)
+		var sample dataset.Sample
+		var cached bool
+		if err == nil {
+			sample, cached, err = coll.Collect(ev.Exe, bin)
+		}
+		if err != nil {
+			results = append(results, serveResult{JobID: ev.JobID,
+				Error: fmt.Sprintf("line %d: %v", lineNo, err)})
+			obsIndex = append(obsIndex, -1)
+		} else {
+			results = append(results, serveResult{JobID: ev.JobID})
+			obsIndex = append(obsIndex, len(pending))
+			cachedFlags = append(cachedFlags, cached)
+			pending = append(pending, monitor.Event{
+				JobID: ev.JobID, User: ev.User, Account: ev.Account,
+				JobName: ev.JobName, Sample: sample,
+			})
+		}
+		if len(pending) >= *chunk {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	if *stats {
+		es, cs := engine.Stats(), coll.Stats()
+		fmt.Fprintf(os.Stderr,
+			"engine: %d hits, %d misses, %d coalesced, %d evicted, %d batches (%d samples, max %d), %d cached\n",
+			es.Hits, es.Misses, es.Coalesced, es.Evicted, es.Batches, es.BatchedSamples, es.MaxBatch, es.CacheEntries)
+		fmt.Fprintf(os.Stderr, "collector: %d seen, %d unique, %d cache hits, %d evicted\n",
+			cs.Seen, cs.Unique, cs.CacheHits, cs.Evicted)
+	}
+	return nil
+}
+
+// eventBinary resolves an event's executable content.
+func eventBinary(ev *serveEvent) ([]byte, error) {
+	switch {
+	case ev.Path != "" && ev.BinaryB64 != "":
+		return nil, errors.New("event has both path and binary_b64")
+	case ev.Path != "":
+		return os.ReadFile(ev.Path)
+	case ev.BinaryB64 != "":
+		return base64.StdEncoding.DecodeString(ev.BinaryB64)
+	default:
+		return nil, errors.New("event has neither path nor binary_b64")
+	}
+}

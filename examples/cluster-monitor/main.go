@@ -51,7 +51,13 @@ func main() {
 	fmt.Printf("model trained on %d executables (%d classes), threshold %.2f\n\n",
 		len(installed), len(clf.Classes()), clf.Threshold())
 
-	mon := fhc.NewMonitor(clf, fhc.MonitorPolicy{
+	// The serving engine fronts the classifier for the monitor: repeated
+	// binaries are labelled from its exact-hash prediction cache and
+	// concurrent submissions share micro-batched forest windows.
+	engine := fhc.NewEngine(clf, fhc.EngineOptions{})
+	defer engine.Close()
+
+	mon := fhc.NewMonitor(engine, fhc.MonitorPolicy{
 		AllowedByAccount: map[string][]string{
 			"bio-123": {"BLAST-like"},
 			"mat-456": {"GROMACS-like", "LAMMPS-like"},
@@ -129,6 +135,8 @@ func main() {
 	stats := coll.Stats()
 	fmt.Printf("\n%d of %d jobs flagged for review; collector: %d seen, %d unique, %d cache hits\n",
 		flagged, len(jobs), stats.Seen, stats.Unique, stats.CacheHits)
+	es := engine.Stats()
+	fmt.Printf("engine: %d featurised, %d prediction-cache hits\n", es.Misses, es.Hits)
 
 	fmt.Println("\nper-user application history (the 'usual software' baseline):")
 	for _, user := range []string{"alice", "bob", "carol", "mallory"} {

@@ -33,6 +33,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/monitor"
 	"repro/internal/rf"
+	"repro/internal/serve"
 	"repro/internal/synth"
 )
 
@@ -89,6 +90,20 @@ type (
 	CollectorOptions = collector.Options
 	// CollectorStats counts collector activity.
 	CollectorStats = collector.Stats
+	// Engine is the serving front for a classifier: an exact-hash
+	// prediction cache with in-flight coalescing over a micro-batching
+	// dispatcher. Predictions are bit-identical to Classifier.Classify.
+	Engine = serve.Engine
+	// EngineOptions configures an Engine's batching and caching.
+	EngineOptions = serve.Options
+	// EngineStats is a snapshot of engine activity.
+	EngineStats = serve.Stats
+	// MonitorObservation pairs one job event's prediction with its
+	// policy findings, as returned by Monitor.ObserveAll.
+	MonitorObservation = monitor.Observation
+	// MonitorLabeler is the labelling surface a Monitor drives;
+	// *Classifier and *Engine both satisfy it.
+	MonitorLabeler = monitor.Labeler
 )
 
 // UnknownLabel is the class label of samples that resemble no known
@@ -124,9 +139,12 @@ const (
 	BlockedApplication = monitor.BlockedApplication
 )
 
-// NewMonitor builds a job monitor over a trained classifier and a policy.
-func NewMonitor(clf *Classifier, policy MonitorPolicy) *Monitor {
-	return monitor.New(clf, policy)
+// NewMonitor builds a job monitor over a labeler and a policy. Pass the
+// trained classifier directly, or — for an always-on deployment — an
+// Engine wrapping it, so the monitor inherits prediction caching and
+// micro-batched ObserveAll classification.
+func NewMonitor(labeler MonitorLabeler, policy MonitorPolicy) *Monitor {
+	return monitor.New(labeler, policy)
 }
 
 // NewCollector builds an executable collector with an exact-hash
@@ -134,6 +152,17 @@ func NewMonitor(clf *Classifier, policy MonitorPolicy) *Monitor {
 // case, per the paper) skip feature extraction.
 func NewCollector(opt CollectorOptions) *Collector {
 	return collector.New(opt)
+}
+
+// NewEngine starts a serving engine over a trained classifier. The
+// engine micro-batches concurrent Classify calls into the classifier's
+// batch path and fronts them with an exact-hash prediction cache, so
+// duplicate submissions — the common case in the paper's always-on
+// deployment — skip featurisation entirely. Hand the engine to
+// NewMonitor as the labeler of a production Figure-1 workflow, and
+// Close it when done. The zero EngineOptions selects serving defaults.
+func NewEngine(clf *Classifier, opt EngineOptions) *Engine {
+	return serve.New(clf, opt)
 }
 
 // Train fits a Fuzzy Hash Classifier on labelled training samples. With a

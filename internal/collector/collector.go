@@ -7,14 +7,19 @@
 // before; only genuinely new binaries pay for feature extraction. The
 // paper's fuzzy classification then runs exclusively on the novel
 // executables.
+//
+// The extraction cache is the same sharded LRU structure, under the same
+// SHA-256 key, as the serving engine's prediction cache (package serve):
+// one content digest, computed here, identifies the binary through
+// extraction, classification and prediction reuse alike.
 package collector
 
 import (
-	"crypto/sha256"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
+	"repro/internal/serve"
 )
 
 // Stats counts collector activity.
@@ -32,8 +37,8 @@ type Stats struct {
 // Options configures a Collector.
 type Options struct {
 	// MaxEntries bounds the extraction cache; 0 means unbounded. When
-	// full, the oldest entry is evicted (collection daemons run for
-	// months).
+	// full, the least recently used entry is evicted (collection
+	// daemons run for months).
 	MaxEntries int
 	// Workers bounds... extraction is per-call synchronous; concurrency
 	// comes from callers. Reserved for future use.
@@ -43,19 +48,17 @@ type Options struct {
 // Collector deduplicates and extracts job executables. It is safe for
 // concurrent use by many scheduler hooks.
 type Collector struct {
-	opt Options
+	opt   Options
+	cache *serve.Cache[*dataset.Sample]
 
-	mu    sync.Mutex
-	cache map[[sha256.Size]byte]*dataset.Sample
-	order [][sha256.Size]byte // FIFO for eviction
-	stats Stats
+	seen, unique, hits atomic.Int64
 }
 
 // New returns an empty collector.
 func New(opt Options) *Collector {
 	return &Collector{
 		opt:   opt,
-		cache: map[[sha256.Size]byte]*dataset.Sample{},
+		cache: serve.NewCache[*dataset.Sample](opt.MaxEntries),
 	}
 }
 
@@ -65,60 +68,46 @@ func New(opt Options) *Collector {
 // user-submitted binaries are unlabelled by definition — labelling them
 // is the classifier's job.
 func (c *Collector) Collect(exe string, bin []byte) (dataset.Sample, bool, error) {
-	sum := sha256.Sum256(bin)
-
-	c.mu.Lock()
-	c.stats.Seen++
-	if s, ok := c.cache[sum]; ok {
-		c.stats.CacheHits++
-		out := *s
+	key := serve.KeyOf(bin)
+	c.seen.Add(1)
+	if cached, ok := c.cache.Get(key); ok {
+		c.hits.Add(1)
+		out := *cached
 		out.Exe = exe // name may differ between executions; content rules
-		c.mu.Unlock()
 		return out, true, nil
 	}
-	c.mu.Unlock()
 
-	// Extraction happens outside the lock: it is the expensive part and
+	// Extraction happens outside any lock: it is the expensive part and
 	// distinct binaries extract independently.
 	s, err := dataset.FromBinary("", "", exe, bin)
 	if err != nil {
 		return dataset.Sample{}, false, fmt.Errorf("collector: %w", err)
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if cached, ok := c.cache[sum]; ok {
+	stored := s
+	if winner, inserted := c.cache.Add(key, &stored); !inserted {
 		// Another hook extracted the same binary concurrently.
-		c.stats.CacheHits++
-		out := *cached
+		c.hits.Add(1)
+		out := *winner
 		out.Exe = exe
 		return out, true, nil
 	}
-	stored := s
-	c.cache[sum] = &stored
-	c.order = append(c.order, sum)
-	c.stats.Unique++
-	if c.opt.MaxEntries > 0 && len(c.cache) > c.opt.MaxEntries {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.cache, oldest)
-		c.stats.Evicted++
-	}
+	c.unique.Add(1)
 	return s, false, nil
 }
 
 // Stats returns a snapshot of the collector's counters.
 func (c *Collector) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Seen:      int(c.seen.Load()),
+		Unique:    int(c.unique.Load()),
+		CacheHits: int(c.hits.Load()),
+		Evicted:   int(c.cache.Evicted()),
+	}
 }
 
-// Known reports whether a binary with this content was collected before.
+// Known reports whether a binary with this content is currently cached,
+// without refreshing its recency.
 func (c *Collector) Known(bin []byte) bool {
-	sum := sha256.Sum256(bin)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.cache[sum]
-	return ok
+	return c.cache.Contains(serve.KeyOf(bin))
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/ml"
@@ -12,11 +14,14 @@ import (
 
 // Classifier is a trained Fuzzy Hash Classifier.
 type Classifier struct {
-	cfg       Config
-	profiles  *profileSet
-	forest    *rf.Forest
-	threshold float64
-	distance  ssdeep.DistanceFunc
+	cfg      Config
+	profiles *profileSet
+	forest   *rf.Forest
+	distance ssdeep.DistanceFunc
+
+	// threshold is the confidence cut-off, stored as float bits so
+	// SetThreshold is safe while another goroutine serves predictions.
+	threshold atomic.Uint64
 
 	// tuning is the threshold sweep recorded during training (Figure 3);
 	// nil when the threshold was fixed by configuration.
@@ -59,9 +64,10 @@ func Train(samples []dataset.Sample, cfg Config) (*Classifier, error) {
 	}
 	sort.Strings(classes)
 
-	c := &Classifier{cfg: cfg, distance: dist, threshold: cfg.Threshold}
+	c := &Classifier{cfg: cfg, distance: dist}
+	c.SetThreshold(cfg.Threshold)
 	c.profiles = buildProfiles(samples, cfg.Features, classes)
-	c.profiles.bruteForce = cfg.BruteForceFeaturize
+	c.profiles.bruteForce.Store(cfg.BruteForceFeaturize)
 
 	// Hyper-parameter and threshold tuning on an inner split of the
 	// training set (the paper tunes "only within the training set").
@@ -78,7 +84,7 @@ func Train(samples []dataset.Sample, cfg Config) (*Classifier, error) {
 		}
 		forestParams = best.params
 		if cfg.Threshold == 0 {
-			c.threshold = best.threshold
+			c.SetThreshold(best.threshold)
 		}
 		c.tuning = curve
 	}
@@ -109,11 +115,17 @@ func (c *Classifier) Classes() []string {
 }
 
 // Threshold returns the confidence threshold in effect.
-func (c *Classifier) Threshold() float64 { return c.threshold }
+func (c *Classifier) Threshold() float64 {
+	return math.Float64frombits(c.threshold.Load())
+}
 
 // SetThreshold overrides the confidence threshold; the paper describes
 // raising it to capture more unknown samples at the cost of precision.
-func (c *Classifier) SetThreshold(t float64) { c.threshold = t }
+// It is safe to call while other goroutines classify: each prediction
+// reads the threshold atomically, exactly once.
+func (c *Classifier) SetThreshold(t float64) {
+	c.threshold.Store(math.Float64bits(t))
+}
 
 // TuningCurve returns the recorded threshold sweep (Figure 3), or nil if
 // the threshold was fixed.
@@ -123,11 +135,12 @@ func (c *Classifier) TuningCurve() []ThresholdScore {
 
 // SetBruteForceFeaturize toggles the brute-force featurisation oracle at
 // runtime. Both paths produce identical feature vectors (the grouped
-// index is exact); only the cost differs. The toggle is not
-// synchronised: do not call it while Featurize/Classify runs on another
-// goroutine.
+// index is exact); only the cost differs. The toggle is safe to flip
+// while other goroutines classify: each featurisation batch reads it
+// atomically, once, on entry, so an in-flight batch finishes on the path
+// it started with.
 func (c *Classifier) SetBruteForceFeaturize(on bool) {
-	c.profiles.bruteForce = on
+	c.profiles.bruteForce.Store(on)
 }
 
 // Featurize exposes the similarity feature vector of a sample, mainly for
@@ -163,23 +176,40 @@ func (c *Classifier) Labels(samples []dataset.Sample) []int {
 // Classify predicts the application class of one sample.
 func (c *Classifier) Classify(s *dataset.Sample) Prediction {
 	x := c.profiles.featurize(s, c.distance)
-	return c.predictFromProba(c.forest.PredictProba(x))
+	return c.PredictFromProba(c.forest.PredictProba(x))
 }
 
 // ClassifyBatch predicts many samples with a bounded worker pool.
 func (c *Classifier) ClassifyBatch(samples []dataset.Sample) []Prediction {
-	X := c.profiles.featurizeBatch(samples, c.distance, c.cfg.Workers)
-	probas := c.forest.PredictProbaBatch(X, c.cfg.Workers)
+	probas := c.PredictProbaBatch(samples)
 	out := make([]Prediction, len(samples))
 	for i := range probas {
-		out[i] = c.predictFromProba(probas[i])
+		out[i] = c.PredictFromProba(probas[i])
 	}
 	return out
 }
 
-// predictFromProba applies the confidence threshold to a probability
-// vector.
-func (c *Classifier) predictFromProba(proba []float64) Prediction {
+// PredictProbaBatch featurises many samples and returns the forest's
+// class-probability vector for each, without applying the confidence
+// threshold. Together with PredictFromProba this is the narrow surface a
+// serving layer needs to micro-batch classification: featurise and run
+// the forest in one window, then apply the (atomically read) threshold
+// per delivered prediction.
+func (c *Classifier) PredictProbaBatch(samples []dataset.Sample) [][]float64 {
+	X := c.profiles.featurizeBatch(samples, c.distance, c.cfg.Workers)
+	return c.forest.PredictProbaBatch(X, c.cfg.Workers)
+}
+
+// PredictFromProba applies the confidence threshold to one probability
+// vector in model class order, as produced by PredictProbaBatch.
+func (c *Classifier) PredictFromProba(proba []float64) Prediction {
+	return decide(proba, c.profiles.classes, c.Threshold())
+}
+
+// decide is the single thresholding rule shared by serving-time
+// prediction and training-time tuning: the most probable class wins, and
+// confidence below the threshold demotes the label to UnknownLabel.
+func decide(proba []float64, classes []string, threshold float64) Prediction {
 	best, bestP := 0, -1.0
 	for cl, p := range proba {
 		if p > bestP {
@@ -187,10 +217,10 @@ func (c *Classifier) predictFromProba(proba []float64) Prediction {
 		}
 	}
 	pred := Prediction{
-		Class:      c.profiles.classes[best],
+		Class:      classes[best],
 		Confidence: bestP,
 	}
-	if bestP < c.threshold {
+	if bestP < threshold {
 		pred.Label = UnknownLabel
 	} else {
 		pred.Label = pred.Class

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/ssdeep"
@@ -32,8 +33,10 @@ type profileSet struct {
 	// bruteForce switches featurize to the O(kinds × classes × digests)
 	// scan. The index is exact — the common-substring gate zeroes every
 	// pair it skips — so both paths produce identical vectors; the scan
-	// survives only as the differential-testing oracle.
-	bruteForce bool
+	// survives only as the differential-testing oracle. The flag is
+	// atomic so operators may flip it while serving; each featurisation
+	// batch snapshots it once on entry.
+	bruteForce atomic.Bool
 	// indexOnce and prepOnce guard the lazy construction of the grouped
 	// indexes and the oracle's prepared digests: each featurisation path
 	// builds only the structures it queries.
@@ -149,7 +152,14 @@ func (ps *profileSet) numFeatures() int {
 // one grouped index query produces the per-class row, sublinear in the
 // corpus size.
 func (ps *profileSet) featurize(s *dataset.Sample, dist ssdeep.DistanceFunc) []float64 {
-	if ps.bruteForce {
+	return ps.featurizeMode(s, dist, ps.bruteForce.Load())
+}
+
+// featurizeMode featurises one sample on an explicitly chosen path. The
+// caller snapshots the bruteForce flag once per batch and passes it down,
+// so a batch never mixes paths even if the toggle flips mid-flight.
+func (ps *profileSet) featurizeMode(s *dataset.Sample, dist ssdeep.DistanceFunc, bruteForce bool) []float64 {
+	if bruteForce {
 		ps.ensurePrepared()
 	} else {
 		ps.ensureIndexes()
@@ -164,7 +174,7 @@ func (ps *profileSet) featurize(s *dataset.Sample, dist ssdeep.DistanceFunc) []f
 			continue
 		}
 		q := ssdeep.Prepare(d)
-		if ps.bruteForce {
+		if bruteForce {
 			out = ps.appendBruteForceRow(out, kind, q, dist)
 			continue
 		}
@@ -195,11 +205,13 @@ func (ps *profileSet) appendBruteForceRow(out []float64, kind dataset.FeatureKin
 	return out
 }
 
-// featurizeBatch featurises many samples with a bounded worker pool.
+// featurizeBatch featurises many samples with a bounded worker pool. The
+// brute-force toggle is read once for the whole batch.
 func (ps *profileSet) featurizeBatch(samples []dataset.Sample, dist ssdeep.DistanceFunc, workers int) [][]float64 {
 	if workers <= 0 {
 		workers = 1
 	}
+	bruteForce := ps.bruteForce.Load()
 	out := make([][]float64, len(samples))
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -208,7 +220,7 @@ func (ps *profileSet) featurizeBatch(samples []dataset.Sample, dist ssdeep.Dista
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = ps.featurize(&samples[i], dist)
+				out[i] = ps.featurizeMode(&samples[i], dist, bruteForce)
 			}
 		}()
 	}

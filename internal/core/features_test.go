@@ -44,9 +44,9 @@ func TestFeaturizeIndexedMatchesBruteForce(t *testing.T) {
 		}
 		ps := buildProfiles(train, paperKinds, classes)
 		for i := range samples {
-			ps.bruteForce = false
+			ps.bruteForce.Store(false)
 			indexed := ps.featurize(&samples[i], dist)
-			ps.bruteForce = true
+			ps.bruteForce.Store(true)
 			brute := ps.featurize(&samples[i], dist)
 			if len(indexed) != len(brute) {
 				t.Fatalf("distance %s sample %d: vector lengths %d vs %d", dn, i, len(indexed), len(brute))

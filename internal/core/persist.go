@@ -51,7 +51,7 @@ func (c *Classifier) Save(w io.Writer) error {
 		Version:   modelVersion,
 		Classes:   c.profiles.classes,
 		Distance:  string(c.cfg.Distance),
-		Threshold: c.threshold,
+		Threshold: c.Threshold(),
 		Forest:    c.forest,
 		Tuning:    c.tuning,
 	}
@@ -98,12 +98,12 @@ func Load(r io.Reader) (*Classifier, error) {
 		features[i] = dataset.FeatureKind(k)
 	}
 	c := &Classifier{
-		cfg:       Config{Features: features, Distance: distName}.withDefaults(),
-		forest:    dto.Forest,
-		threshold: dto.Threshold,
-		distance:  dist,
-		tuning:    dto.Tuning,
+		cfg:      Config{Features: features, Distance: distName}.withDefaults(),
+		forest:   dto.Forest,
+		distance: dist,
+		tuning:   dto.Tuning,
 	}
+	c.SetThreshold(dto.Threshold)
 	// Rebuild prepared profiles from the digest strings.
 	ps := &profileSet{
 		features: features,

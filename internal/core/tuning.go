@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/ml"
@@ -49,7 +50,7 @@ func tune(trainSamples []dataset.Sample, cfg Config, grid *Grid) (tuneResult, []
 	innerTrain := gather(trainSamples, split.TrainIdx)
 	innerVal := gather(trainSamples, split.TestIdx)
 	profiles := buildProfiles(innerTrain, cfg.Features, split.KnownClasses)
-	profiles.bruteForce = cfg.BruteForceFeaturize
+	profiles.bruteForce.Store(cfg.BruteForceFeaturize)
 	xTrain := profiles.featurizeBatch(innerTrain, dist, cfg.Workers)
 	xVal := profiles.featurizeBatch(innerVal, dist, cfg.Workers)
 
@@ -75,54 +76,97 @@ func tune(trainSamples []dataset.Sample, cfg Config, grid *Grid) (tuneResult, []
 		thresholds = defaultThresholds()
 	}
 
+	// Every grid point is an independent forest train + threshold sweep,
+	// so points are evaluated on a bounded worker pool. Winner selection
+	// stays deterministic: results are collected per point and reduced
+	// sequentially in grid order below, reproducing the sequential
+	// strict-improvement tie-break (earlier grid point, then lower
+	// threshold, wins ties) regardless of completion order.
+	points := grid.expand(base)
+	type pointResult struct {
+		params rf.Params
+		curve  []ThresholdScore
+		err    error
+	}
+	results := make([]pointResult, len(points))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	// The outer pool already saturates the CPUs, so each point trains
+	// its forest with the leftover share rather than cfg.Workers —
+	// worker counts never change results, only contention. Train()
+	// re-sets Workers on the winning params for the final fit.
+	innerWorkers := cfg.Workers / workers
+	if innerWorkers < 1 {
+		innerWorkers = 1
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				params := points[i]
+				params.Balanced = true
+				params.Workers = innerWorkers
+				results[i].params = params
+				forest, err := rf.Train(xTrain, yTrain, len(split.KnownClasses), params)
+				if err != nil {
+					results[i].err = fmt.Errorf("grid point %+v: %w", params, err)
+					continue
+				}
+				probas := forest.PredictProbaBatch(xVal, innerWorkers)
+				curve := make([]ThresholdScore, 0, len(thresholds))
+				for _, th := range thresholds {
+					yPred := applyThreshold(probas, split.KnownClasses, th)
+					report, err := ml.ClassificationReport(yTrue, yPred)
+					if err != nil {
+						results[i].err = err
+						break
+					}
+					curve = append(curve, ThresholdScore{Threshold: th, Scores: report.Scores()})
+				}
+				results[i].curve = curve
+			}
+		}()
+	}
+	for i := range points {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
 	best := tuneResult{params: base, threshold: fallbackThreshold, combined: -1}
 	var bestCurve []ThresholdScore
-	for _, params := range grid.expand(base) {
-		params.Balanced = true
-		params.Workers = cfg.Workers
-		forest, err := rf.Train(xTrain, yTrain, len(split.KnownClasses), params)
-		if err != nil {
-			return tuneResult{}, nil, fmt.Errorf("grid point %+v: %w", params, err)
+	for i := range results {
+		if results[i].err != nil {
+			return tuneResult{}, nil, results[i].err
 		}
-		probas := forest.PredictProbaBatch(xVal, cfg.Workers)
-		curve := make([]ThresholdScore, 0, len(thresholds))
 		improved := false
-		for _, th := range thresholds {
-			yPred := applyThreshold(probas, split.KnownClasses, th)
-			report, err := ml.ClassificationReport(yTrue, yPred)
-			if err != nil {
-				return tuneResult{}, nil, err
-			}
-			scores := report.Scores()
-			curve = append(curve, ThresholdScore{Threshold: th, Scores: scores})
-			if c := scores.Combined(); c > best.combined {
-				best = tuneResult{params: params, threshold: th, combined: c}
+		for _, ts := range results[i].curve {
+			if c := ts.Scores.Combined(); c > best.combined {
+				best = tuneResult{params: results[i].params, threshold: ts.Threshold, combined: c}
 				improved = true
 			}
 		}
 		if improved {
-			bestCurve = curve
+			bestCurve = results[i].curve
 		}
 	}
 	return best, bestCurve, nil
 }
 
 // applyThreshold converts probability vectors into labels under a
-// confidence threshold.
+// confidence threshold, through the same decide rule serving uses.
 func applyThreshold(probas [][]float64, classes []string, threshold float64) []string {
 	out := make([]string, len(probas))
 	for i, proba := range probas {
-		best, bestP := 0, -1.0
-		for c, p := range proba {
-			if p > bestP {
-				best, bestP = c, p
-			}
-		}
-		if bestP < threshold {
-			out[i] = UnknownLabel
-		} else {
-			out[i] = classes[best]
-		}
+		out[i] = decide(proba, classes, threshold).Label
 	}
 	return out
 }

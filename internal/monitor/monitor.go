@@ -21,9 +21,19 @@ import (
 	"repro/internal/dataset"
 )
 
-// Labeler labels one sample; *core.Classifier satisfies it.
+// Labeler labels one sample; *core.Classifier satisfies it, as does the
+// serving engine (internal/serve), which is the labeler a production
+// deployment should hand to New: duplicate submissions then hit its
+// prediction cache and concurrent submissions share micro-batches.
 type Labeler interface {
 	Classify(*dataset.Sample) core.Prediction
+}
+
+// BatchLabeler is the optional batch surface of a Labeler. ObserveAll
+// uses it when available so a burst of submissions is classified in one
+// window; the serving engine satisfies it.
+type BatchLabeler interface {
+	ClassifyAll(samples []dataset.Sample) []core.Prediction
 }
 
 // Policy declares what each allocation may run and what nothing may run.
@@ -123,11 +133,50 @@ func New(labeler Labeler, policy Policy) *Monitor {
 	return m
 }
 
+// Observation pairs one event's prediction with its policy findings.
+type Observation struct {
+	// Prediction is the classifier's label for the event's sample.
+	Prediction core.Prediction
+	// Findings are the policy observations, empty for a clean job.
+	Findings []Finding
+}
+
 // Observe labels one job event, records it in the user's history and
 // returns the prediction together with any policy findings.
 func (m *Monitor) Observe(e Event) (core.Prediction, []Finding) {
 	pred := m.labeler.Classify(&e.Sample)
+	return pred, m.apply(e, pred)
+}
 
+// ObserveAll labels a burst of job events and applies policy to each.
+// When the labeler supports batch classification the whole burst is
+// classified in one window; policy and history are then applied
+// sequentially in event order, so the findings equal those of calling
+// Observe event by event.
+func (m *Monitor) ObserveAll(events []Event) []Observation {
+	var preds []core.Prediction
+	if bl, ok := m.labeler.(BatchLabeler); ok {
+		samples := make([]dataset.Sample, len(events))
+		for i := range events {
+			samples[i] = events[i].Sample
+		}
+		preds = bl.ClassifyAll(samples)
+	} else {
+		preds = make([]core.Prediction, len(events))
+		for i := range events {
+			preds[i] = m.labeler.Classify(&events[i].Sample)
+		}
+	}
+	out := make([]Observation, len(events))
+	for i := range events {
+		out[i] = Observation{Prediction: preds[i], Findings: m.apply(events[i], preds[i])}
+	}
+	return out
+}
+
+// apply records one labelled event in the user's history and evaluates
+// the policy, answering the paper's three guiding questions.
+func (m *Monitor) apply(e Event, pred core.Prediction) []Finding {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -139,7 +188,7 @@ func (m *Monitor) Observe(e Event) (core.Prediction, []Finding) {
 				"job %s (%s): executable matches no known application (closest %s at %.2f)",
 				e.JobID, e.User, pred.Class, pred.Confidence),
 		})
-		return pred, findings
+		return findings
 	}
 
 	if m.blocked[pred.Label] {
@@ -169,7 +218,7 @@ func (m *Monitor) Observe(e Event) (core.Prediction, []Finding) {
 		m.history[e.User] = userHist
 	}
 	userHist[pred.Label]++
-	return pred, findings
+	return findings
 }
 
 // ClassCount pairs a class with an observation count.

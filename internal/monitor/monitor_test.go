@@ -162,6 +162,99 @@ func TestConcurrentObserve(t *testing.T) {
 	}
 }
 
+// batchStubLabeler adds the batch surface and records whether it was
+// used.
+type batchStubLabeler struct {
+	stubLabeler
+	batchCalls int
+	batched    int
+}
+
+func (b *batchStubLabeler) ClassifyAll(samples []dataset.Sample) []core.Prediction {
+	b.batchCalls++
+	b.batched += len(samples)
+	out := make([]core.Prediction, len(samples))
+	for i := range samples {
+		out[i] = b.Classify(&samples[i])
+	}
+	return out
+}
+
+func observeAllEvents() []Event {
+	return []Event{
+		event("b1", "alice", "bio-1", "BLAST"),
+		event("b2", "alice", "bio-1", "GROMACS"),   // deviation + new behaviour
+		event("b3", "bob", "free-9", "MysteryApp"), // unknown
+		event("b4", "alice", "bio-1", "BLAST"),
+		event("b5", "mallory", "free-9", "XMRig"), // blocked
+	}
+}
+
+// TestObserveAllUsesBatchLabeler proves a burst goes through the batch
+// surface in one window.
+func TestObserveAllUsesBatchLabeler(t *testing.T) {
+	labeler := &batchStubLabeler{stubLabeler: stubLabeler{known: map[string]bool{
+		"BLAST": true, "GROMACS": true, "XMRig": true,
+	}}}
+	m := New(labeler, Policy{Blocklist: []string{"XMRig"}})
+	events := observeAllEvents()
+	obs := m.ObserveAll(events)
+	if labeler.batchCalls != 1 || labeler.batched != len(events) {
+		t.Fatalf("batch labeler saw %d calls / %d samples, want 1 / %d",
+			labeler.batchCalls, labeler.batched, len(events))
+	}
+	if len(obs) != len(events) {
+		t.Fatalf("got %d observations for %d events", len(obs), len(events))
+	}
+}
+
+// TestObserveAllMatchesSequentialObserve pins the contract that batching
+// changes scheduling, not findings: a burst observed at once must
+// produce exactly the per-event results, including the history-order
+// effects (new-user-behaviour depends on what came earlier in the
+// burst).
+func TestObserveAllMatchesSequentialObserve(t *testing.T) {
+	events := observeAllEvents()
+
+	seq := testMonitor()
+	var wantPreds []core.Prediction
+	var wantFindings [][]FindingKind
+	for _, e := range events {
+		p, f := seq.Observe(e)
+		wantPreds = append(wantPreds, p)
+		wantFindings = append(wantFindings, kinds(f))
+	}
+
+	batched := testMonitor()
+	obs := batched.ObserveAll(events)
+	for i := range events {
+		if obs[i].Prediction != wantPreds[i] {
+			t.Fatalf("event %d: prediction %+v, want %+v", i, obs[i].Prediction, wantPreds[i])
+		}
+		got := kinds(obs[i].Findings)
+		if len(got) != len(wantFindings[i]) {
+			t.Fatalf("event %d: findings %v, want %v", i, got, wantFindings[i])
+		}
+		for j := range got {
+			if got[j] != wantFindings[i][j] {
+				t.Fatalf("event %d: findings %v, want %v", i, got, wantFindings[i])
+			}
+		}
+	}
+	// Both monitors accumulated the same history.
+	for _, user := range []string{"alice", "bob", "mallory"} {
+		a, b := seq.UserHistory(user), batched.UserHistory(user)
+		if len(a) != len(b) {
+			t.Fatalf("user %s history diverged: %v vs %v", user, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("user %s history diverged: %v vs %v", user, a, b)
+			}
+		}
+	}
+}
+
 func TestFindingKindString(t *testing.T) {
 	for k, want := range map[FindingKind]string{
 		UnknownApplication: "unknown-application",

@@ -1,0 +1,361 @@
+// Package serve turns the one-sample Classify path into an always-on
+// classification engine shaped for the paper's Figure 1 deployment: a
+// Slurm prolog submits every observed executable, and "users frequently
+// execute jobs by changing the input data and not the application
+// executable" (§1), so repeated submissions of identical binaries are
+// the common case and concurrent submissions arrive in bursts.
+//
+// The engine fronts a trained classifier with two layers:
+//
+//   - an exact-hash prediction cache (sharded, LRU-bounded, keyed by the
+//     sample's SHA-256) so duplicate submissions skip featurisation and
+//     the forest entirely, with in-flight coalescing so N concurrent
+//     submissions of one new binary pay for one featurisation;
+//   - a micro-batcher that gathers concurrent cache misses into
+//     size- and latency-bounded windows and runs them through the
+//     classifier's featurizeBatch/PredictProbaBatch path, amortising
+//     worker-pool start-up over the window.
+//
+// Predictions are bit-identical to calling Classifier.Classify directly:
+// batching changes scheduling, never arithmetic.
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Backend is the narrow classifier surface the engine serves:
+// batch probability prediction plus per-sample thresholding.
+// *core.Classifier satisfies it.
+type Backend interface {
+	// PredictProbaBatch featurises samples and returns one probability
+	// vector per sample, in model class order.
+	PredictProbaBatch(samples []dataset.Sample) [][]float64
+	// PredictFromProba applies the confidence threshold to one vector.
+	PredictFromProba(proba []float64) core.Prediction
+}
+
+// Options configures an Engine. The zero value selects serving defaults.
+type Options struct {
+	// BatchSize caps a micro-batch window; a window is dispatched as
+	// soon as it fills. Default 64.
+	BatchSize int
+	// MaxLatency bounds how long a partial window lingers for
+	// stragglers once every executor is busy. The dispatcher is
+	// work-conserving: with an idle executor a drained queue dispatches
+	// immediately, so lone requests never pay the latency bound.
+	// Default 2ms.
+	MaxLatency time.Duration
+	// Workers bounds how many windows execute concurrently.
+	// Default GOMAXPROCS.
+	Workers int
+	// CacheEntries bounds the prediction cache. 0 selects the default
+	// (65536 entries); negative disables caching and coalescing.
+	CacheEntries int
+	// QueueDepth is the pending-request buffer between callers and the
+	// batcher. Default 4x BatchSize.
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	if o.MaxLatency <= 0 {
+		o.MaxLatency = 2 * time.Millisecond
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 65536
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.BatchSize
+	}
+	return o
+}
+
+// Stats is a snapshot of engine activity.
+type Stats struct {
+	// Hits counts predictions served from the exact-hash cache.
+	Hits uint64
+	// Misses counts predictions that went through the classifier.
+	Misses uint64
+	// Coalesced counts requests that piggybacked on an in-flight
+	// classification of the same binary instead of featurising again.
+	Coalesced uint64
+	// Evicted counts cache entries dropped to respect the LRU bound.
+	Evicted uint64
+	// Batches and BatchedSamples describe the dispatched windows;
+	// MaxBatch is the largest window observed.
+	Batches, BatchedSamples, MaxBatch uint64
+	// CacheEntries is the current prediction-cache population.
+	CacheEntries int
+}
+
+// request is one enqueued classification.
+type request struct {
+	sample *dataset.Sample
+	out    chan core.Prediction
+}
+
+// flight is an in-progress classification other callers may wait on.
+type flight struct {
+	done chan struct{}
+	pred core.Prediction
+}
+
+// Engine is a concurrency-safe serving front for a classifier.
+// Create with New, release with Close.
+type Engine struct {
+	backend Backend
+	opt     Options
+	cache   *Cache[core.Prediction] // nil when disabled
+
+	queue  chan *request
+	sem    chan struct{} // bounds concurrent window executions
+	loopWG sync.WaitGroup
+
+	sendMu sync.RWMutex // guards queue sends against Close
+	closed bool
+
+	inflightMu sync.Mutex
+	inflight   map[Key]*flight
+
+	closeOnce sync.Once
+
+	hits, misses, coalesced       atomic.Uint64
+	batches, batchedSamples, maxB atomic.Uint64
+}
+
+// New starts an engine over a backend. The caller owns the backend;
+// retuning it (SetThreshold, SetBruteForceFeaturize on a classifier)
+// while the engine serves is safe, but predictions cached before a
+// threshold change keep their old labels — serve a fresh engine when
+// relabelling history matters.
+func New(backend Backend, opt Options) *Engine {
+	opt = opt.withDefaults()
+	e := &Engine{
+		backend:  backend,
+		opt:      opt,
+		queue:    make(chan *request, opt.QueueDepth),
+		sem:      make(chan struct{}, opt.Workers),
+		inflight: map[Key]*flight{},
+	}
+	if opt.CacheEntries > 0 {
+		e.cache = NewCache[core.Prediction](opt.CacheEntries)
+	}
+	e.loopWG.Add(1)
+	go e.dispatch()
+	return e
+}
+
+// Classify predicts one sample, blocking until the prediction is
+// available. Duplicate submissions (by content digest) are served from
+// the cache or coalesced onto an in-flight classification; fresh
+// binaries ride a micro-batch window.
+func (e *Engine) Classify(s *dataset.Sample) core.Prediction {
+	key, keyed := SampleKey(s)
+	if !keyed || e.cache == nil {
+		e.misses.Add(1)
+		return e.enqueue(s)
+	}
+	if p, ok := e.cache.Get(key); ok {
+		e.hits.Add(1)
+		return p
+	}
+
+	e.inflightMu.Lock()
+	if f, ok := e.inflight[key]; ok {
+		e.inflightMu.Unlock()
+		e.coalesced.Add(1)
+		<-f.done
+		return f.pred
+	}
+	// Losing the Get race above to a completed flight is possible;
+	// re-check the cache under the inflight lock so we never refeaturise
+	// a binary that finished in the gap.
+	if p, ok := e.cache.Get(key); ok {
+		e.inflightMu.Unlock()
+		e.hits.Add(1)
+		return p
+	}
+	f := &flight{done: make(chan struct{})}
+	e.inflight[key] = f
+	e.inflightMu.Unlock()
+
+	e.misses.Add(1)
+	pred := e.enqueue(s)
+	f.pred = pred
+	e.cache.Add(key, pred)
+	e.inflightMu.Lock()
+	delete(e.inflight, key)
+	e.inflightMu.Unlock()
+	close(f.done)
+	return pred
+}
+
+// ClassifyAll predicts many samples concurrently through the batching
+// and caching layers, preserving input order. Concurrency is what fills
+// micro-batch windows, so a stream of N samples costs N goroutines;
+// chunk very large streams.
+func (e *Engine) ClassifyAll(samples []dataset.Sample) []core.Prediction {
+	out := make([]core.Prediction, len(samples))
+	var wg sync.WaitGroup
+	for i := range samples {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = e.Classify(&samples[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// enqueue hands one sample to the batcher and waits for its prediction.
+// After Close the engine degrades to direct unbatched classification.
+func (e *Engine) enqueue(s *dataset.Sample) core.Prediction {
+	r := &request{sample: s, out: make(chan core.Prediction, 1)}
+	e.sendMu.RLock()
+	if e.closed {
+		e.sendMu.RUnlock()
+		return e.direct(s)
+	}
+	e.queue <- r
+	e.sendMu.RUnlock()
+	return <-r.out
+}
+
+// direct classifies one sample synchronously, bypassing the batcher.
+func (e *Engine) direct(s *dataset.Sample) core.Prediction {
+	probas := e.backend.PredictProbaBatch([]dataset.Sample{*s})
+	return e.backend.PredictFromProba(probas[0])
+}
+
+// dispatch accumulates requests into windows bounded by BatchSize and
+// MaxLatency and hands each window to an executor, at most Workers of
+// which run at once.
+func (e *Engine) dispatch() {
+	defer e.loopWG.Done()
+	for {
+		first, ok := <-e.queue
+		if !ok {
+			return
+		}
+		batch, acquired := e.fill(first)
+		if !acquired {
+			e.sem <- struct{}{}
+		}
+		e.loopWG.Add(1)
+		go func(b []*request) {
+			defer e.loopWG.Done()
+			defer func() { <-e.sem }()
+			e.runBatch(b)
+		}(batch)
+	}
+}
+
+// fill grows a window starting at first. It is work-conserving: whatever
+// is already queued is taken greedily, and once the queue drains the
+// window only lingers for stragglers — bounded by MaxLatency — while
+// every executor is busy, because lingering with an idle executor buys
+// batching nothing. Reports whether it already acquired an executor
+// slot.
+func (e *Engine) fill(first *request) (batch []*request, acquired bool) {
+	batch = []*request{first}
+	for len(batch) < e.opt.BatchSize {
+		select {
+		case r, ok := <-e.queue:
+			if !ok {
+				return batch, false
+			}
+			batch = append(batch, r)
+			continue
+		default:
+		}
+		break
+	}
+	if len(batch) >= e.opt.BatchSize {
+		return batch, false
+	}
+	select {
+	case e.sem <- struct{}{}: // idle executor: dispatch what we have
+		return batch, true
+	default:
+	}
+	deadline := time.NewTimer(e.opt.MaxLatency)
+	defer deadline.Stop()
+	for len(batch) < e.opt.BatchSize {
+		select {
+		case r, ok := <-e.queue:
+			if !ok {
+				return batch, false
+			}
+			batch = append(batch, r)
+		case e.sem <- struct{}{}: // an executor freed up: go now
+			return batch, true
+		case <-deadline.C:
+			return batch, false
+		}
+	}
+	return batch, false
+}
+
+// runBatch executes one window on the backend's batch path and delivers
+// per-request predictions with a fresh threshold read each.
+func (e *Engine) runBatch(b []*request) {
+	e.batches.Add(1)
+	e.batchedSamples.Add(uint64(len(b)))
+	for {
+		cur := e.maxB.Load()
+		if uint64(len(b)) <= cur || e.maxB.CompareAndSwap(cur, uint64(len(b))) {
+			break
+		}
+	}
+	samples := make([]dataset.Sample, len(b))
+	for i, r := range b {
+		samples[i] = *r.sample
+	}
+	probas := e.backend.PredictProbaBatch(samples)
+	for i, r := range b {
+		r.out <- e.backend.PredictFromProba(probas[i])
+	}
+}
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Hits:           e.hits.Load(),
+		Misses:         e.misses.Load(),
+		Coalesced:      e.coalesced.Load(),
+		Batches:        e.batches.Load(),
+		BatchedSamples: e.batchedSamples.Load(),
+		MaxBatch:       e.maxB.Load(),
+	}
+	if e.cache != nil {
+		st.Evicted = e.cache.Evicted()
+		st.CacheEntries = e.cache.Len()
+	}
+	return st
+}
+
+// Close drains pending requests and stops the batcher. It is idempotent
+// and safe alongside concurrent Classify calls, which fall back to
+// direct classification once the engine is closed.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		e.sendMu.Lock()
+		e.closed = true
+		close(e.queue)
+		e.sendMu.Unlock()
+		e.loopWG.Wait()
+	})
+}
