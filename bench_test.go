@@ -12,10 +12,12 @@ package fhc
 // the experiments cache and timed by BenchmarkPipelineEndToEnd.
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/ml"
@@ -351,6 +353,61 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(float64(len(p.Test)), "samples/op")
 	})
+}
+
+// BenchmarkEngineSwap measures serving throughput while the backend is
+// hot-swapped mid-flood: a second model generation (a Save/Load clone,
+// so swapping costs no retraining) is installed every half millisecond
+// while parallel callers classify a duplicate-heavy stream. Each swap
+// epochs the prediction cache, so the measured cost is the real
+// redeployment price — re-warming the cache — on top of the drain; read
+// it alongside BenchmarkEngineThroughput's warm/uncached pair.
+func BenchmarkEngineSwap(b *testing.B) {
+	p := benchPipeline(b)
+	var buf bytes.Buffer
+	if err := p.Classifier.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	clone, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	eng := NewEngine(p.Classifier, EngineOptions{})
+	defer eng.Close()
+	for i := range p.Test {
+		eng.Classify(&p.Test[i]) // prime the first epoch's cache
+	}
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		generations := [2]*Classifier{clone, p.Classifier}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(500 * time.Microsecond):
+				eng.Swap(generations[i%2])
+			}
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			eng.Classify(&p.Test[i%len(p.Test)])
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	swapper.Wait()
+	b.ReportMetric(float64(eng.Stats().Swaps), "swaps")
 }
 
 // BenchmarkFeaturize times similarity-feature extraction for one sample

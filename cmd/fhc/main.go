@@ -12,11 +12,14 @@
 //	fhc nm       FILE
 //	fhc ldd      FILE
 //	fhc scan     [-json FILE] DIR
-//	fhc train    (-corpus DIR | -samples FILE) -model FILE [-threshold T] [-seed N] [-grid]
+//	fhc train    (-corpus DIR | -samples FILE) -model FILE [-kind rf|knn|svm] [-threshold T] [-seed N] [-grid]
 //	fhc classify -model FILE BINARY...
 //	fhc report   -corpus DIR -model FILE [-format text|csv|md]
 //	fhc dups     [-min SCORE] [-feature NAME] [-within] DIR
 //	fhc serve    -model FILE [-policy FILE] [-input FILE] [-batch N] [-latency D] [-cache N] [-stats]
+//
+// serve accepts {"reload":"FILE"} control lines that hot-swap a
+// retrained model into the running engine with zero downtime.
 package main
 
 import (

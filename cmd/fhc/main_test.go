@@ -92,7 +92,7 @@ func TestCmdTrainClassifyReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("train: %v", err)
 	}
-	if !strings.Contains(out, "trained on") {
+	if !strings.Contains(out, "trained rf on") {
 		t.Fatalf("train output: %q", out)
 	}
 	if _, err := os.Stat(model); err != nil {
@@ -132,6 +132,44 @@ func TestCmdTrainValidation(t *testing.T) {
 	if err := cmdTrain([]string{"-corpus", "a", "-samples", "b", "-model", "m"}); err == nil {
 		t.Error("train with both -corpus and -samples accepted")
 	}
+	dir, _ := makeTree(t)
+	if err := cmdTrain([]string{"-corpus", dir, "-model", filepath.Join(t.TempDir(), "m"),
+		"-kind", "perceptron", "-threshold", "0.3"}); err == nil {
+		t.Error("train with unregistered model kind accepted")
+	}
+}
+
+// TestCmdTrainAlternateKind drives the CLI model selection end to end:
+// train a knn model, classify with it, and confirm the artifact is
+// tagged with its kind.
+func TestCmdTrainAlternateKind(t *testing.T) {
+	dir, binary := makeTree(t)
+	model := filepath.Join(t.TempDir(), "model-knn.json")
+	out, err := withStdout(t, func() error {
+		return cmdTrain([]string{"-corpus", dir, "-model", model, "-kind", "knn", "-threshold", "0.3"})
+	})
+	if err != nil {
+		t.Fatalf("train -kind knn: %v", err)
+	}
+	if !strings.Contains(out, "trained knn on") {
+		t.Fatalf("train output: %q", out)
+	}
+	raw, err := os.ReadFile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"model_kind":"knn"`) {
+		t.Fatal("artifact not tagged with its model kind")
+	}
+	out, err = withStdout(t, func() error {
+		return cmdClassify([]string{"-model", model, binary})
+	})
+	if err != nil {
+		t.Fatalf("classify with knn model: %v", err)
+	}
+	if !strings.Contains(out, "AppOne") {
+		t.Fatalf("knn classify output: %q", out)
+	}
 }
 
 func TestCmdScanJSONAndTrainFromSamples(t *testing.T) {
@@ -152,7 +190,7 @@ func TestCmdScanJSONAndTrainFromSamples(t *testing.T) {
 	if err != nil {
 		t.Fatalf("train -samples: %v", err)
 	}
-	if !strings.Contains(out, "trained on") {
+	if !strings.Contains(out, "trained rf on") {
 		t.Fatalf("train output: %q", out)
 	}
 	// The cached-features model must classify like the tree-trained one.
@@ -319,6 +357,73 @@ func TestCmdServe(t *testing.T) {
 
 	if err := cmdServe([]string{"-input", events}); err == nil {
 		t.Error("serve without -model accepted")
+	}
+}
+
+// TestCmdServeReload drives the zero-downtime reload control line: the
+// stream swaps from an rf model to a knn model mid-flight, a bad reload
+// is acknowledged as an error without stopping the stream, and events
+// after each control line keep classifying.
+func TestCmdServeReload(t *testing.T) {
+	dir, binary := makeTree(t)
+	modelA := filepath.Join(t.TempDir(), "model-rf.json")
+	modelB := filepath.Join(t.TempDir(), "model-knn.json")
+	if _, err := withStdout(t, func() error {
+		return cmdTrain([]string{"-corpus", dir, "-model", modelA, "-threshold", "0.3", "-trees", "40"})
+	}); err != nil {
+		t.Fatalf("train rf: %v", err)
+	}
+	if _, err := withStdout(t, func() error {
+		return cmdTrain([]string{"-corpus", dir, "-model", modelB, "-kind", "knn", "-threshold", "0.3"})
+	}); err != nil {
+		t.Fatalf("train knn: %v", err)
+	}
+
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	lines := []string{
+		`{"job_id":"1","user":"alice","exe":"a","path":"` + binary + `"}`,
+		`{"reload":"` + modelB + `"}`,
+		// The same binary after the swap: extraction stays deduplicated
+		// (model-independent), but the prediction comes from the swapped
+		// engine (the engine-level epoch tests prove no stale serving).
+		`{"job_id":"2","user":"alice","exe":"a","path":"` + binary + `"}`,
+		`{"reload":"/nonexistent/model.json"}`,
+		`{"job_id":"3","user":"alice","exe":"a","path":"` + binary + `"}`,
+		// A line mixing control and job fields is a producer bug: it must
+		// be rejected, not half-processed.
+		`{"job_id":"4","exe":"a","path":"` + binary + `","reload":"` + modelB + `"}`,
+	}
+	if err := os.WriteFile(events, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := withStdout(t, func() error {
+		return cmdServe([]string{"-model", modelA, "-input", events})
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	got := strings.Split(strings.TrimSpace(out), "\n")
+	if len(got) != len(lines) {
+		t.Fatalf("serve emitted %d results for %d lines:\n%s", len(got), len(lines), out)
+	}
+	if !strings.Contains(got[0], `"label":"AppOne"`) {
+		t.Fatalf("pre-reload result: %s", got[0])
+	}
+	if !strings.Contains(got[1], `"reloaded"`) || !strings.Contains(got[1], `"model_kind":"knn"`) {
+		t.Fatalf("reload not acknowledged with the new kind: %s", got[1])
+	}
+	if !strings.Contains(got[2], `"label":"AppOne"`) {
+		t.Fatalf("post-reload event mislabelled: %s", got[2])
+	}
+	if !strings.Contains(got[3], `"error"`) || !strings.Contains(got[3], `"reloaded"`) {
+		t.Fatalf("failed reload not reported: %s", got[3])
+	}
+	if !strings.Contains(got[4], `"label":"AppOne"`) {
+		t.Fatalf("stream did not survive the failed reload: %s", got[4])
+	}
+	if !strings.Contains(got[5], `"error"`) || !strings.Contains(got[5], `"job_id":"4"`) ||
+		strings.Contains(got[5], `"label"`) {
+		t.Fatalf("mixed control/job line not rejected: %s", got[5])
 	}
 }
 

@@ -8,10 +8,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/model"
 	"repro/internal/rf"
 	"repro/internal/synth"
 )
@@ -98,10 +100,12 @@ func cmdTrain(args []string) error {
 	corpusDir := fs.String("corpus", "", "labelled install tree")
 	samplesPath := fs.String("samples", "", "JSON-lines feature file from 'fhc scan -json' (alternative to -corpus)")
 	modelPath := fs.String("model", "", "output model file (required)")
+	kind := fs.String("kind", model.KindRF,
+		"model kind: "+strings.Join(model.Kinds(), ", "))
 	threshold := fs.Float64("threshold", 0, "confidence threshold (0 = tune on an inner split)")
 	seed := fs.Uint64("seed", experiments.DefaultSeed, "training seed")
-	trees := fs.Int("trees", 200, "Random Forest size")
-	grid := fs.Bool("grid", false, "run the full hyper-parameter grid search")
+	trees := fs.Int("trees", 200, "Random Forest size (rf kind only)")
+	grid := fs.Bool("grid", false, "run the full hyper-parameter grid search (rf kind only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,6 +132,7 @@ func cmdTrain(args []string) error {
 		return errors.New("no usable samples (need unstripped ELF executables in >= 3 versions per class)")
 	}
 	cfg := core.Config{
+		Model:     *kind,
 		Forest:    rf.Params{NumTrees: *trees},
 		Threshold: *threshold,
 		Seed:      *seed,
@@ -147,8 +152,8 @@ func cmdTrain(args []string) error {
 	if err := clf.Save(f); err != nil {
 		return err
 	}
-	fmt.Printf("trained on %d samples, %d classes; threshold %.2f; model written to %s\n",
-		len(samples), len(clf.Classes()), clf.Threshold(), *modelPath)
+	fmt.Printf("trained %s on %d samples, %d classes; threshold %.2f; model written to %s\n",
+		clf.ModelKind(), len(samples), len(clf.Classes()), clf.Threshold(), *modelPath)
 	return nil
 }
 
@@ -166,12 +171,7 @@ func cmdClassify(args []string) error {
 	if fs.NArg() == 0 {
 		return errors.New("no binaries given")
 	}
-	mf, err := os.Open(*modelPath)
-	if err != nil {
-		return err
-	}
-	clf, err := core.Load(mf)
-	mf.Close()
+	clf, err := loadModel(*modelPath)
 	if err != nil {
 		return err
 	}
@@ -214,12 +214,7 @@ func cmdReport(args []string) error {
 	if err != nil {
 		return err
 	}
-	mf, err := os.Open(*modelPath)
-	if err != nil {
-		return err
-	}
-	clf, err := core.Load(mf)
-	mf.Close()
+	clf, err := loadModel(*modelPath)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,12 @@ package main
 //	 "exe":"blastn","path":"/tmp/blastn"}
 //	{"job_id":"2","user":"bob","exe":"a.out","binary_b64":"f0VMRg..."}
 //
+// A control line hot-swaps a retrained model with zero downtime — the
+// stream keeps flowing, and no prediction cached under the old model is
+// ever served again:
+//
+//	{"reload":"/models/fhc-2026-07.json"}
+//
 // Policy file (optional, -policy):
 //
 //	{"allowed_by_account":{"bio-1":["BLAST"]},"blocklist":["XMRig"]}
@@ -40,7 +46,9 @@ func init() {
 	})
 }
 
-// serveEvent is one JSON-lines job event.
+// serveEvent is one JSON-lines job event. A line carrying Reload is a
+// control event: the named model file is loaded and hot-swapped into
+// the engine between stream windows.
 type serveEvent struct {
 	JobID     string `json:"job_id"`
 	User      string `json:"user"`
@@ -49,9 +57,11 @@ type serveEvent struct {
 	Exe       string `json:"exe"`
 	Path      string `json:"path,omitempty"`
 	BinaryB64 string `json:"binary_b64,omitempty"`
+	Reload    string `json:"reload,omitempty"`
 }
 
-// serveResult is one JSON-lines prediction.
+// serveResult is one JSON-lines prediction (or reload acknowledgement,
+// distinguished by its "reloaded" field).
 type serveResult struct {
 	JobID      string         `json:"job_id"`
 	Label      string         `json:"label,omitempty"`
@@ -59,6 +69,8 @@ type serveResult struct {
 	Confidence float64        `json:"confidence,omitempty"`
 	Cached     bool           `json:"cached,omitempty"`
 	Findings   []serveFinding `json:"findings,omitempty"`
+	Reloaded   string         `json:"reloaded,omitempty"`
+	ModelKind  string         `json:"model_kind,omitempty"`
 	Error      string         `json:"error,omitempty"`
 }
 
@@ -94,12 +106,7 @@ func cmdServe(args []string) error {
 		return errors.New("-chunk must be at least 1")
 	}
 
-	mf, err := os.Open(*modelPath)
-	if err != nil {
-		return err
-	}
-	clf, err := core.Load(mf)
-	mf.Close()
+	clf, err := loadModel(*modelPath)
 	if err != nil {
 		return err
 	}
@@ -191,6 +198,38 @@ func cmdServe(args []string) error {
 			obsIndex = append(obsIndex, -1)
 			continue
 		}
+		if ev.Reload != "" {
+			// Control line: hot-swap the model. A line mixing control and
+			// job fields is a producer bug — rejecting it beats silently
+			// dropping the job's prediction.
+			if ev.JobID != "" || ev.Path != "" || ev.BinaryB64 != "" || ev.Exe != "" ||
+				ev.User != "" || ev.Account != "" || ev.JobName != "" {
+				results = append(results, serveResult{JobID: ev.JobID,
+					Error: fmt.Sprintf("line %d: reload control line carries job fields", lineNo)})
+				obsIndex = append(obsIndex, -1)
+				continue
+			}
+			// The window in progress is flushed first so the
+			// acknowledgement lands in stream order; the engine itself
+			// needs no quiescing — Swap is zero-downtime.
+			if err := flush(); err != nil {
+				return err
+			}
+			res := serveResult{Reloaded: ev.Reload}
+			if next, err := loadModel(ev.Reload); err != nil {
+				// The previous model keeps serving; the stream continues.
+				res.Error = fmt.Sprintf("line %d: %v", lineNo, err)
+			} else {
+				engine.Swap(next)
+				res.ModelKind = next.ModelKind()
+			}
+			results = append(results, res)
+			obsIndex = append(obsIndex, -1)
+			if err := flush(); err != nil {
+				return err
+			}
+			continue
+		}
 		bin, err := eventBinary(&ev)
 		var sample dataset.Sample
 		var cached bool
@@ -226,12 +265,22 @@ func cmdServe(args []string) error {
 	if *stats {
 		es, cs := engine.Stats(), coll.Stats()
 		fmt.Fprintf(os.Stderr,
-			"engine: %d hits, %d misses, %d coalesced, %d evicted, %d batches (%d samples, max %d), %d cached\n",
-			es.Hits, es.Misses, es.Coalesced, es.Evicted, es.Batches, es.BatchedSamples, es.MaxBatch, es.CacheEntries)
+			"engine: %d hits, %d misses, %d coalesced, %d evicted, %d swaps, %d batches (%d samples, max %d), %d cached\n",
+			es.Hits, es.Misses, es.Coalesced, es.Evicted, es.Swaps, es.Batches, es.BatchedSamples, es.MaxBatch, es.CacheEntries)
 		fmt.Fprintf(os.Stderr, "collector: %d seen, %d unique, %d cache hits, %d evicted\n",
 			cs.Seen, cs.Unique, cs.CacheHits, cs.Evicted)
 	}
 	return nil
+}
+
+// loadModel reads a trained classifier of any registered kind.
+func loadModel(path string) (*core.Classifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.Load(f)
 }
 
 // eventBinary resolves an event's executable content.

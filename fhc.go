@@ -30,10 +30,13 @@ import (
 	"repro/internal/collector"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/knn"
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/monitor"
 	"repro/internal/rf"
 	"repro/internal/serve"
+	"repro/internal/svm"
 	"repro/internal/synth"
 )
 
@@ -54,8 +57,16 @@ type (
 	Prediction = core.Prediction
 	// ThresholdScore is one point of the confidence-threshold sweep.
 	ThresholdScore = core.ThresholdScore
+	// Model is the pluggable classification-model surface; Config.Model
+	// selects the registered kind ("rf", "knn", "svm") trained on the
+	// fuzzy-hash similarity features.
+	Model = model.Model
 	// ForestParams are the Random Forest hyper-parameters.
 	ForestParams = rf.Params
+	// KNNParams are the K-nearest-neighbour hyper-parameters.
+	KNNParams = knn.Params
+	// SVMParams are the linear SVM hyper-parameters.
+	SVMParams = svm.Params
 	// Report is a multi-class classification report.
 	Report = ml.Report
 	// ClassMetrics holds per-class precision/recall/f1/support.
@@ -118,6 +129,21 @@ const (
 	FeatureNeeded  = dataset.FeatureNeeded
 )
 
+// Model kinds selectable via Config.Model.
+const (
+	// ModelRF is the paper's Random Forest, the default.
+	ModelRF = model.KindRF
+	// ModelKNN is the K-nearest-neighbour comparison model.
+	ModelKNN = model.KindKNN
+	// ModelSVM is the linear one-vs-rest SVM comparison model.
+	ModelSVM = model.KindSVM
+)
+
+// ModelKinds returns the registered model kind tags, sorted.
+func ModelKinds() []string {
+	return model.Kinds()
+}
+
 // Split modes for SplitTwoPhase.
 const (
 	// PaperSplit assigns unknown classes from the samples' markers.
@@ -161,6 +187,10 @@ func NewCollector(opt CollectorOptions) *Collector {
 // deployment — skip featurisation entirely. Hand the engine to
 // NewMonitor as the labeler of a production Figure-1 workflow, and
 // Close it when done. The zero EngineOptions selects serving defaults.
+//
+// Retrained models deploy without a restart: Engine.Swap installs a new
+// classifier with zero downtime and orphans every prediction cached
+// under the previous model (see examples/model-swap).
 func NewEngine(clf *Classifier, opt EngineOptions) *Engine {
 	return serve.New(clf, opt)
 }

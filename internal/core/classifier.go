@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/rf"
 	"repro/ssdeep"
 )
@@ -16,7 +17,7 @@ import (
 type Classifier struct {
 	cfg      Config
 	profiles *profileSet
-	forest   *rf.Forest
+	mdl      model.Model
 	distance ssdeep.DistanceFunc
 
 	// threshold is the confidence cut-off, stored as float bits so
@@ -42,6 +43,16 @@ func Train(samples []dataset.Sample, cfg Config) (*Classifier, error) {
 	cfg = cfg.withDefaults()
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: no training samples")
+	}
+	// Fail on a bad model kind before any featurisation or tuning work.
+	if err := model.Validate(cfg.Model); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	// A forest-parameter grid cannot tune another model kind; rejecting
+	// it beats silently running a search the caller never gets.
+	if cfg.Grid != nil && cfg.Model != model.KindRF && cfg.Grid.hasForestDims() {
+		return nil, fmt.Errorf("core: Grid forest parameters apply only to the %q model kind; sweep only Thresholds with %q",
+			model.KindRF, cfg.Model)
 	}
 	dist, err := cfg.Distance.Func()
 	if err != nil {
@@ -89,7 +100,7 @@ func Train(samples []dataset.Sample, cfg Config) (*Classifier, error) {
 		c.tuning = curve
 	}
 
-	// Final fit on the full training set.
+	// Final fit on the full training set, through the model registry.
 	X := c.profiles.featurizeBatch(samples, dist, cfg.Workers)
 	y := make([]int, len(samples))
 	classIndex := make(map[string]int, len(classes))
@@ -101,17 +112,27 @@ func Train(samples []dataset.Sample, cfg Config) (*Classifier, error) {
 	}
 	forestParams.Balanced = true
 	forestParams.Workers = cfg.Workers
-	forest, err := rf.Train(X, y, len(classes), forestParams)
+	mdl, err := model.Train(cfg.Model, X, y, len(classes), model.Options{
+		Forest: forestParams,
+		KNN:    cfg.KNN,
+		SVM:    cfg.SVM,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: training forest: %w", err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	c.forest = forest
+	c.mdl = mdl
 	return c, nil
 }
 
 // Classes returns the known class labels in model order.
 func (c *Classifier) Classes() []string {
 	return append([]string(nil), c.profiles.classes...)
+}
+
+// ModelKind returns the registered kind tag of the fitted model ("rf",
+// "knn", "svm", ...).
+func (c *Classifier) ModelKind() string {
+	return c.mdl.Kind()
 }
 
 // Threshold returns the confidence threshold in effect.
@@ -176,7 +197,7 @@ func (c *Classifier) Labels(samples []dataset.Sample) []int {
 // Classify predicts the application class of one sample.
 func (c *Classifier) Classify(s *dataset.Sample) Prediction {
 	x := c.profiles.featurize(s, c.distance)
-	return c.PredictFromProba(c.forest.PredictProba(x))
+	return c.PredictFromProba(c.mdl.PredictProba(x))
 }
 
 // ClassifyBatch predicts many samples with a bounded worker pool.
@@ -189,15 +210,15 @@ func (c *Classifier) ClassifyBatch(samples []dataset.Sample) []Prediction {
 	return out
 }
 
-// PredictProbaBatch featurises many samples and returns the forest's
+// PredictProbaBatch featurises many samples and returns the model's
 // class-probability vector for each, without applying the confidence
 // threshold. Together with PredictFromProba this is the narrow surface a
 // serving layer needs to micro-batch classification: featurise and run
-// the forest in one window, then apply the (atomically read) threshold
+// the model in one window, then apply the (atomically read) threshold
 // per delivered prediction.
 func (c *Classifier) PredictProbaBatch(samples []dataset.Sample) [][]float64 {
 	X := c.profiles.featurizeBatch(samples, c.distance, c.cfg.Workers)
-	return c.forest.PredictProbaBatch(X, c.cfg.Workers)
+	return c.mdl.PredictProbaBatch(X, c.cfg.Workers)
 }
 
 // PredictFromProba applies the confidence threshold to one probability
@@ -258,17 +279,24 @@ func (c *Classifier) Evaluate(samples []dataset.Sample) (*ml.Report, error) {
 	return ml.ClassificationReport(c.GroundTruth(samples), yPred)
 }
 
-// FeatureImportance aggregates the Random Forest's per-column importances
-// over each fuzzy-hash feature's column group and normalises to 1 — the
-// paper's Table 5.
+// FeatureImportance aggregates the model's per-column importances over
+// each fuzzy-hash feature's column group and normalises to 1 — the
+// paper's Table 5. It returns nil for model kinds that expose no
+// importances (the paper selects the Random Forest partly for this
+// capability).
 func (c *Classifier) FeatureImportance() map[string]float64 {
+	imp, ok := c.mdl.(model.Importancer)
+	if !ok {
+		return nil
+	}
+	importances := imp.Importances()
 	groups := c.profiles.featureGroups()
 	out := make(map[string]float64, len(groups))
 	total := 0.0
 	for kind, span := range groups {
 		sum := 0.0
 		for i := span[0]; i < span[1]; i++ {
-			sum += c.forest.Importances[i]
+			sum += importances[i]
 		}
 		out[kind.String()] = sum
 		total += sum
@@ -282,7 +310,11 @@ func (c *Classifier) FeatureImportance() map[string]float64 {
 }
 
 // ForestParams returns the Random Forest parameters of the fitted model
-// (after any grid search).
+// (after any grid search); the zero value when the model is not a
+// forest.
 func (c *Classifier) ForestParams() rf.Params {
-	return c.forest.Params
+	if fm, ok := c.mdl.(interface{ Forest() *rf.Forest }); ok {
+		return fm.Forest().Params
+	}
+	return rf.Params{}
 }

@@ -14,7 +14,10 @@ import (
 	"runtime"
 
 	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/model"
 	"repro/internal/rf"
+	"repro/internal/svm"
 	"repro/ssdeep"
 )
 
@@ -52,10 +55,18 @@ type Config struct {
 	// three (file, strings, symbols). Append dataset.FeatureNeeded for
 	// the ldd future-work ablation.
 	Features []dataset.FeatureKind
-	// Forest sets the Random Forest parameters. When Grid is non-nil the
-	// grid search overrides the searched fields; Balanced and Seed are
-	// always honoured.
+	// Model selects the classification model trained on the similarity
+	// features: "rf" (the paper's Random Forest, the default), "knn" or
+	// "svm" — any kind registered with internal/model.
+	Model string
+	// Forest sets the Random Forest parameters of the "rf" model. When
+	// Grid is non-nil the grid search overrides the searched fields;
+	// Balanced and Seed are always honoured.
 	Forest rf.Params
+	// KNN sets the parameters of the "knn" model.
+	KNN knn.Params
+	// SVM sets the parameters of the "svm" model.
+	SVM svm.Params
 	// Threshold fixes the confidence threshold. Zero means: tune it on an
 	// inner split of the training set, as the paper does.
 	Threshold float64
@@ -84,6 +95,9 @@ func (c Config) withDefaults() Config {
 			dataset.FeatureFile, dataset.FeatureStrings, dataset.FeatureSymbols,
 		}
 	}
+	if c.Model == "" {
+		c.Model = model.KindRF
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -93,6 +107,9 @@ func (c Config) withDefaults() Config {
 	c.Forest.Balanced = true // the paper's class-imbalance answer
 	if c.Forest.Seed == 0 {
 		c.Forest.Seed = c.Seed + 1
+	}
+	if c.SVM.Seed == 0 {
+		c.SVM.Seed = c.Seed + 2
 	}
 	return c
 }
@@ -133,6 +150,14 @@ func defaultThresholds() []float64 {
 		ts = append(ts, v)
 	}
 	return ts
+}
+
+// hasForestDims reports whether the grid searches Random Forest
+// hyper-parameters, as opposed to only sweeping the confidence
+// threshold (which applies to every model kind).
+func (g *Grid) hasForestDims() bool {
+	return len(g.NumTrees) > 0 || len(g.MaxDepth) > 0 || len(g.MinSamplesSplit) > 0 ||
+		len(g.MinSamplesLeaf) > 0 || len(g.MaxFeatures) > 0 || len(g.Criterion) > 0
 }
 
 // expand enumerates the grid as concrete forest parameter sets, anchored

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dataset"
+	"repro/internal/par"
 	"repro/ssdeep"
 )
 
@@ -205,30 +206,18 @@ func (ps *profileSet) appendBruteForceRow(out []float64, kind dataset.FeatureKin
 	return out
 }
 
-// featurizeBatch featurises many samples with a bounded worker pool. The
-// brute-force toggle is read once for the whole batch.
+// featurizeBatch featurises many samples with a bounded worker pool
+// (workers <= 0 runs sequentially). The brute-force toggle is read once
+// for the whole batch.
 func (ps *profileSet) featurizeBatch(samples []dataset.Sample, dist ssdeep.DistanceFunc, workers int) [][]float64 {
 	if workers <= 0 {
 		workers = 1
 	}
 	bruteForce := ps.bruteForce.Load()
 	out := make([][]float64, len(samples))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out[i] = ps.featurizeMode(&samples[i], dist, bruteForce)
-			}
-		}()
-	}
-	for i := range samples {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	par.Map(len(samples), workers, func(i int) {
+		out[i] = ps.featurizeMode(&samples[i], dist, bruteForce)
+	})
 	return out
 }
 

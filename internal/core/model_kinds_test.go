@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/knn"
+	"repro/internal/model"
+	"repro/internal/svm"
+)
+
+// TestDefaultModelIsForest pins the bit-identity acceptance criterion:
+// a zero Config.Model trains exactly what an explicit "rf" selection
+// trains — the registry indirection changes nothing about the default
+// path.
+func TestDefaultModelIsForest(t *testing.T) {
+	samples, split := testData(t)
+	train := gather(samples, split.TrainIdx)
+	test := gather(samples, split.TestIdx)
+
+	implicit, err := Train(train, fixedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fixedConfig()
+	cfg.Model = model.KindRF
+	explicit, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit.ModelKind() != model.KindRF {
+		t.Fatalf("default model kind = %q, want rf", implicit.ModelKind())
+	}
+	for i := range test {
+		got, want := implicit.Classify(&test[i]), explicit.Classify(&test[i])
+		if got != want {
+			t.Fatalf("sample %d: implicit rf %+v, explicit rf %+v", i, got, want)
+		}
+	}
+}
+
+// TestTrainAlternateModelKinds trains the paper's comparison models
+// through the same core path as the forest and round-trips each through
+// the v2 persisted format.
+func TestTrainAlternateModelKinds(t *testing.T) {
+	samples, split := testData(t)
+	train := gather(samples, split.TrainIdx)
+	test := gather(samples, split.TestIdx)
+
+	for _, tc := range []struct {
+		kind   string
+		mutate func(*Config)
+	}{
+		{model.KindKNN, func(c *Config) { c.KNN = knn.Params{K: 3, Weighted: true} }},
+		{model.KindSVM, func(c *Config) { c.SVM = svm.Params{Epochs: 12} }},
+	} {
+		t.Run(tc.kind, func(t *testing.T) {
+			cfg := fixedConfig()
+			cfg.Model = tc.kind
+			tc.mutate(&cfg)
+			clf, err := Train(train, cfg)
+			if err != nil {
+				t.Fatalf("Train(%s): %v", tc.kind, err)
+			}
+			if got := clf.ModelKind(); got != tc.kind {
+				t.Fatalf("ModelKind() = %q, want %q", got, tc.kind)
+			}
+			if tc.kind != model.KindRF && clf.FeatureImportance() != nil {
+				t.Fatalf("%s classifier reports feature importances", tc.kind)
+			}
+			preds := clf.ClassifyBatch(test)
+			correct := 0
+			for i := range test {
+				if preds[i].Label == test[i].Class {
+					correct++
+				}
+			}
+			if correct == 0 {
+				t.Fatalf("%s classified nothing correctly", tc.kind)
+			}
+
+			var buf bytes.Buffer
+			if err := clf.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Load(&buf)
+			if err != nil {
+				t.Fatalf("Load(%s): %v", tc.kind, err)
+			}
+			if got := back.ModelKind(); got != tc.kind {
+				t.Fatalf("reloaded kind = %q, want %q", got, tc.kind)
+			}
+			if got := back.ClassifyBatch(test); !reflect.DeepEqual(got, preds) {
+				t.Fatalf("%s predictions changed across Save/Load", tc.kind)
+			}
+		})
+	}
+}
+
+// TestTrainRejectsBadModelConfigs covers the fail-fast validations: an
+// unregistered kind and a forest grid on a non-forest kind both error
+// before any featurisation runs.
+func TestTrainRejectsBadModelConfigs(t *testing.T) {
+	samples, split := testData(t)
+	train := gather(samples, split.TrainIdx)
+
+	cfg := fixedConfig()
+	cfg.Model = "gradient-boosting"
+	if _, err := Train(train, cfg); err == nil {
+		t.Error("unregistered model kind accepted")
+	}
+
+	cfg = fixedConfig()
+	cfg.Model = model.KindKNN
+	cfg.Grid = &Grid{NumTrees: []int{10, 20}, Thresholds: []float64{0.3}}
+	if _, err := Train(train, cfg); err == nil {
+		t.Error("forest grid on a knn model accepted")
+	}
+}
+
+// TestThresholdTuningNonForestKind exercises the generalised inner-split
+// tuning: with no fixed threshold, a knn-backed classifier still sweeps
+// the confidence threshold (one model point, no forest grid).
+func TestThresholdTuningNonForestKind(t *testing.T) {
+	samples, split := testData(t)
+	train := gather(samples, split.TrainIdx)
+	cfg := Config{
+		Model: model.KindKNN,
+		KNN:   knn.Params{K: 3, Weighted: true},
+		Seed:  99,
+		Grid:  &Grid{Thresholds: []float64{0, 0.25, 0.5, 0.75}},
+	}
+	clf, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := clf.TuningCurve()
+	if len(curve) == 0 {
+		t.Fatal("knn tuning recorded no threshold sweep")
+	}
+	if len(curve) != 4 {
+		t.Fatalf("knn sweep has %d points, want 4 (one model point, no forest grid)", len(curve))
+	}
+	if th := clf.Threshold(); th < 0 || th > 0.75 {
+		t.Fatalf("tuned threshold %v outside the sweep", th)
+	}
+}

@@ -6,7 +6,7 @@ import (
 	"io"
 
 	"repro/internal/dataset"
-	"repro/internal/rf"
+	"repro/internal/model"
 	"repro/ssdeep"
 )
 
@@ -19,8 +19,13 @@ func parseDigest(s string) (ssdeep.Digest, error) {
 	return d, nil
 }
 
-// modelVersion tags the persisted format.
-const modelVersion = 1
+// Persisted format versions. Version 2 stores a self-describing
+// {model_kind, model} payload resolved through the model registry;
+// version 1 stored the bare Random Forest and remains loadable.
+const (
+	modelVersionV1 = 1
+	modelVersion   = 2
+)
 
 // kindProfilesDTO is the serialised profile set of one feature kind.
 type kindProfilesDTO struct {
@@ -38,21 +43,31 @@ type modelDTO struct {
 	Distance  string            `json:"distance"`
 	Threshold float64           `json:"threshold"`
 	Profiles  []kindProfilesDTO `json:"profiles"`
-	Forest    *rf.Forest        `json:"forest"`
-	Tuning    []ThresholdScore  `json:"tuning,omitempty"`
+	// ModelKind and Model are the version-2 payload: the registered
+	// model kind and its opaque, kind-owned parameter encoding.
+	ModelKind string          `json:"model_kind,omitempty"`
+	Model     json.RawMessage `json:"model,omitempty"`
+	// Forest is the version-1 payload (implicitly kind "rf").
+	Forest json.RawMessage  `json:"forest,omitempty"`
+	Tuning []ThresholdScore `json:"tuning,omitempty"`
 }
 
 // Save serialises the classifier as JSON. The model is self-contained:
 // class profiles (digests only — no raw file content, preserving the
-// paper's privacy argument), the forest, the threshold and the tuning
-// curve.
+// paper's privacy argument), the fitted model tagged with its registry
+// kind, the threshold and the tuning curve.
 func (c *Classifier) Save(w io.Writer) error {
+	payload, err := json.Marshal(c.mdl)
+	if err != nil {
+		return fmt.Errorf("core: saving %s model: %w", c.mdl.Kind(), err)
+	}
 	dto := modelDTO{
 		Version:   modelVersion,
 		Classes:   c.profiles.classes,
 		Distance:  string(c.cfg.Distance),
 		Threshold: c.Threshold(),
-		Forest:    c.forest,
+		ModelKind: c.mdl.Kind(),
+		Model:     payload,
 		Tuning:    c.tuning,
 	}
 	if dto.Distance == "" {
@@ -73,17 +88,37 @@ func (c *Classifier) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a classifier saved with Save.
+// rawIsNull reports whether a raw JSON payload is absent.
+func rawIsNull(raw json.RawMessage) bool {
+	return len(raw) == 0 || string(raw) == "null"
+}
+
+// Load reads a classifier saved with Save: the current version-2 format
+// with any registered model kind, or a legacy version-1 artifact whose
+// payload is the bare forest.
 func Load(r io.Reader) (*Classifier, error) {
 	var dto modelDTO
 	if err := json.NewDecoder(r).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("core: loading model: %w", err)
 	}
-	if dto.Version != modelVersion {
+	var mdl model.Model
+	var err error
+	switch dto.Version {
+	case modelVersionV1:
+		if rawIsNull(dto.Forest) {
+			return nil, fmt.Errorf("core: version 1 model has no forest")
+		}
+		mdl, err = model.Unmarshal(model.KindRF, dto.Forest)
+	case modelVersion:
+		if dto.ModelKind == "" || rawIsNull(dto.Model) {
+			return nil, fmt.Errorf("core: version 2 model has no model payload")
+		}
+		mdl, err = model.Unmarshal(dto.ModelKind, dto.Model)
+	default:
 		return nil, fmt.Errorf("core: unsupported model version %d", dto.Version)
 	}
-	if dto.Forest == nil {
-		return nil, fmt.Errorf("core: model has no forest")
+	if err != nil {
+		return nil, fmt.Errorf("core: loading model: %w", err)
 	}
 	distName := DistanceName(dto.Distance)
 	dist, err := distName.Func()
@@ -98,8 +133,8 @@ func Load(r io.Reader) (*Classifier, error) {
 		features[i] = dataset.FeatureKind(k)
 	}
 	c := &Classifier{
-		cfg:      Config{Features: features, Distance: distName}.withDefaults(),
-		forest:   dto.Forest,
+		cfg:      Config{Features: features, Distance: distName, Model: mdl.Kind()}.withDefaults(),
+		mdl:      mdl,
 		distance: dist,
 		tuning:   dto.Tuning,
 	}
@@ -130,8 +165,11 @@ func Load(r io.Reader) (*Classifier, error) {
 		ps.profiles[kind] = profiles
 	}
 	c.profiles = ps
-	if got, want := c.profiles.numFeatures(), dto.Forest.NumFeatures; got != want {
-		return nil, fmt.Errorf("core: model inconsistency: %d profile features vs %d forest features", got, want)
+	if got, want := c.profiles.numFeatures(), mdl.NumFeatures(); got != want {
+		return nil, fmt.Errorf("core: model inconsistency: %d profile features vs %d model features", got, want)
+	}
+	if got, want := len(dto.Classes), mdl.NumClasses(); got != want {
+		return nil, fmt.Errorf("core: model inconsistency: %d classes vs %d model classes", got, want)
 	}
 	return c, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/rf"
 )
 
@@ -76,12 +77,14 @@ func tune(trainSamples []dataset.Sample, cfg Config, grid *Grid) (tuneResult, []
 		thresholds = defaultThresholds()
 	}
 
-	// Every grid point is an independent forest train + threshold sweep,
+	// Every grid point is an independent model train + threshold sweep,
 	// so points are evaluated on a bounded worker pool. Winner selection
 	// stays deterministic: results are collected per point and reduced
 	// sequentially in grid order below, reproducing the sequential
 	// strict-improvement tie-break (earlier grid point, then lower
-	// threshold, wins ties) regardless of completion order.
+	// threshold, wins ties) regardless of completion order. Non-rf model
+	// kinds reach here with a thresholds-only grid (Train rejects forest
+	// dimensions for them), which expands to the single base point.
 	points := grid.expand(base)
 	type pointResult struct {
 		params rf.Params
@@ -115,12 +118,16 @@ func tune(trainSamples []dataset.Sample, cfg Config, grid *Grid) (tuneResult, []
 				params.Balanced = true
 				params.Workers = innerWorkers
 				results[i].params = params
-				forest, err := rf.Train(xTrain, yTrain, len(split.KnownClasses), params)
+				m, err := model.Train(cfg.Model, xTrain, yTrain, len(split.KnownClasses), model.Options{
+					Forest: params,
+					KNN:    cfg.KNN,
+					SVM:    cfg.SVM,
+				})
 				if err != nil {
 					results[i].err = fmt.Errorf("grid point %+v: %w", params, err)
 					continue
 				}
-				probas := forest.PredictProbaBatch(xVal, innerWorkers)
+				probas := m.PredictProbaBatch(xVal, innerWorkers)
 				curve := make([]ThresholdScore, 0, len(thresholds))
 				for _, th := range thresholds {
 					yPred := applyThreshold(probas, split.KnownClasses, th)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/knn"
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/rf"
 	"repro/internal/svm"
 	"repro/internal/synth"
@@ -111,7 +112,10 @@ type AblationModels struct {
 	Rows []ModelScores
 }
 
-// RunAblationModels evaluates every model on the pipeline's split.
+// RunAblationModels evaluates every model on the pipeline's split. The
+// comparison models train through the model registry — the same factory
+// the core classifier uses — so the ablation exercises exactly the
+// pluggable layer a production deployment would select from.
 func RunAblationModels(p *Pipeline) (*AblationModels, error) {
 	out := &AblationModels{
 		Rows: []ModelScores{{Name: "random-forest (paper)", Scores: p.Report.Scores()}},
@@ -122,23 +126,9 @@ func RunAblationModels(p *Pipeline) (*AblationModels, error) {
 	xTest := clf.FeaturizeBatch(p.Test)
 	yTrue := clf.GroundTruth(p.Test)
 	classes := clf.Classes()
-	threshold := clf.Threshold()
 
-	evalProbas := func(name string, probas [][]float64) error {
-		yPred := make([]string, len(probas))
-		for i, proba := range probas {
-			best, bestP := 0, -1.0
-			for c, pr := range proba {
-				if pr > bestP {
-					best, bestP = c, pr
-				}
-			}
-			if bestP < threshold {
-				yPred[i] = ml.UnknownLabel
-			} else {
-				yPred[i] = classes[best]
-			}
-		}
+	evalProbas := func(name string, probas [][]float64, threshold float64) error {
+		yPred := applyThresholdToProbas(probas, classes, threshold)
 		report, err := ml.ClassificationReport(yTrue, yPred)
 		if err != nil {
 			return err
@@ -147,30 +137,28 @@ func RunAblationModels(p *Pipeline) (*AblationModels, error) {
 		return nil
 	}
 
-	knnModel, err := knn.Train(xTrain, yTrain, len(classes), knn.Params{K: 5, Weighted: true})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: knn: %w", err)
+	comparisons := []struct {
+		kind, name string
+		opt        model.Options
+		// threshold is the confidence cut-off for the unknown label.
+		// Margin softmax is flat relative to forest probabilities, so
+		// the SVM runs at 0 to stay comparable on pure classification.
+		threshold float64
+	}{
+		{model.KindKNN, "knn (k=5, distance-weighted)",
+			model.Options{KNN: knn.Params{K: 5, Weighted: true}}, clf.Threshold()},
+		{model.KindSVM, "svm (linear one-vs-rest)",
+			model.Options{SVM: svm.Params{Seed: p.Seed}}, 0},
 	}
-	if err := evalProbas("knn (k=5, distance-weighted)", knnModel.PredictProbaBatch(xTest, 0)); err != nil {
-		return nil, err
+	for _, c := range comparisons {
+		m, err := model.Train(c.kind, xTrain, yTrain, len(classes), c.opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		if err := evalProbas(c.name, m.PredictProbaBatch(xTest, 0), c.threshold); err != nil {
+			return nil, err
+		}
 	}
-
-	svmModel, err := svm.Train(xTrain, yTrain, len(classes), svm.Params{Seed: p.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: svm: %w", err)
-	}
-	svmProbas := make([][]float64, len(xTest))
-	for i := range xTest {
-		svmProbas[i] = svmModel.PredictProba(xTest[i])
-	}
-	// Margin softmax is flat relative to forest probabilities; threshold 0
-	// keeps the SVM comparable on pure classification.
-	saveThreshold := threshold
-	threshold = 0
-	if err := evalProbas("svm (linear one-vs-rest)", svmProbas); err != nil {
-		return nil, err
-	}
-	threshold = saveThreshold
 
 	evalBaseline := func(name string, classify func(*dataset.Sample) string) error {
 		yPred := make([]string, len(p.Test))

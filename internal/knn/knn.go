@@ -5,11 +5,12 @@
 package knn
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
+
+	"repro/internal/par"
 )
 
 // Params configures the classifier.
@@ -35,6 +36,15 @@ func Train(X [][]float64, y []int, numClasses int, p Params) (*Classifier, error
 	}
 	if len(X) != len(y) {
 		return nil, fmt.Errorf("knn: %d rows but %d labels", len(X), len(y))
+	}
+	dim := len(X[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("knn: samples have no features")
+	}
+	for i := range X {
+		if len(X[i]) != dim {
+			return nil, fmt.Errorf("knn: row %d has %d features, want %d", i, len(X[i]), dim)
+		}
 	}
 	if numClasses < 2 {
 		return nil, fmt.Errorf("knn: need at least 2 classes")
@@ -94,29 +104,55 @@ func (c *Classifier) Predict(x []float64) int {
 	return best
 }
 
-// PredictProbaBatch predicts many samples with a bounded worker pool.
+// PredictProbaBatch predicts many samples with a bounded worker pool;
+// workers <= 0 selects GOMAXPROCS.
 func (c *Classifier) PredictProbaBatch(X [][]float64, workers int) [][]float64 {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	out := make([][]float64, len(X))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out[i] = c.PredictProba(X[i])
-			}
-		}()
-	}
-	for i := range X {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	par.Map(len(X), workers, func(i int) {
+		out[i] = c.PredictProba(X[i])
+	})
 	return out
+}
+
+// NumClasses returns the number of classes the model was trained on.
+func (c *Classifier) NumClasses() int { return c.numClasses }
+
+// NumFeatures returns the input dimensionality.
+func (c *Classifier) NumFeatures() int {
+	if len(c.x) == 0 {
+		return 0
+	}
+	return len(c.x[0])
+}
+
+// classifierDTO is the JSON shape of a fitted KNN model: the memorised
+// feature matrix, its labels and the neighbourhood parameters.
+type classifierDTO struct {
+	X          [][]float64 `json:"x"`
+	Y          []int       `json:"y"`
+	NumClasses int         `json:"num_classes"`
+	Params     Params      `json:"params"`
+}
+
+// MarshalJSON serialises the fitted model.
+func (c *Classifier) MarshalJSON() ([]byte, error) {
+	return json.Marshal(classifierDTO{X: c.x, Y: c.y, NumClasses: c.numClasses, Params: c.p})
+}
+
+// UnmarshalJSON restores a model written by MarshalJSON, re-validating
+// it through Train so a hand-edited payload cannot bypass the training
+// invariants.
+func (c *Classifier) UnmarshalJSON(data []byte) error {
+	var dto classifierDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return fmt.Errorf("knn: decoding model: %w", err)
+	}
+	restored, err := Train(dto.X, dto.Y, dto.NumClasses, dto.Params)
+	if err != nil {
+		return fmt.Errorf("knn: malformed model: %w", err)
+	}
+	*c = *restored
+	return nil
 }
 
 func euclidean(a, b []float64) float64 {

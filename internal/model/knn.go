@@ -1,0 +1,48 @@
+package model
+
+import (
+	"encoding/json"
+
+	"repro/internal/knn"
+)
+
+func init() {
+	Register(KindKNN, trainKNN, unmarshalKNN)
+}
+
+// knnModel adapts *knn.Classifier to the Model interface.
+type knnModel struct {
+	c *knn.Classifier
+}
+
+func trainKNN(X [][]float64, y []int, numClasses int, opt Options) (Model, error) {
+	c, err := knn.Train(X, y, numClasses, opt.KNN)
+	if err != nil {
+		return nil, err
+	}
+	return &knnModel{c: c}, nil
+}
+
+func unmarshalKNN(data []byte) (Model, error) {
+	c := &knn.Classifier{}
+	if err := json.Unmarshal(data, c); err != nil {
+		return nil, err
+	}
+	return &knnModel{c: c}, nil
+}
+
+func (m *knnModel) Kind() string     { return KindKNN }
+func (m *knnModel) NumClasses() int  { return m.c.NumClasses() }
+func (m *knnModel) NumFeatures() int { return m.c.NumFeatures() }
+
+func (m *knnModel) PredictProba(x []float64) []float64 {
+	return m.c.PredictProba(x)
+}
+
+func (m *knnModel) PredictProbaBatch(X [][]float64, workers int) [][]float64 {
+	return m.c.PredictProbaBatch(X, workers)
+}
+
+func (m *knnModel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.c)
+}

@@ -1,0 +1,168 @@
+// Package model is the pluggable classification-model layer of the Fuzzy
+// Hash Classifier. The paper's pipeline is "fuzzy-hash features → ML
+// classifier", and its comparison set spans Random Forest, SVM and KNN;
+// this package gives every such model one narrow interface — batch
+// probability prediction over the similarity feature matrix plus a JSON
+// round-trip — and a factory registry keyed by a kind tag, so the core
+// classifier, the persisted artifact and the serving engine are all
+// model-agnostic. The Random Forest remains the default and its trained
+// behaviour is bit-identical to the pre-registry code: adapters delegate,
+// they never re-implement arithmetic.
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/knn"
+	"repro/internal/rf"
+	"repro/internal/svm"
+)
+
+// Registered model kinds.
+const (
+	// KindRF is the paper's Random Forest, the default.
+	KindRF = "rf"
+	// KindKNN is the K-nearest-neighbour comparison model.
+	KindKNN = "knn"
+	// KindSVM is the linear one-vs-rest SVM comparison model.
+	KindSVM = "svm"
+)
+
+// Model is the common surface of every classification model trained on
+// the fuzzy-hash similarity features. Implementations are safe for
+// concurrent prediction once trained.
+type Model interface {
+	// Kind returns the registered kind tag ("rf", "knn", "svm").
+	Kind() string
+	// NumClasses returns the number of classes the model was trained on.
+	NumClasses() int
+	// NumFeatures returns the input dimensionality.
+	NumFeatures() int
+	// PredictProba returns the class-probability vector of one sample,
+	// in class-index order.
+	PredictProba(x []float64) []float64
+	// PredictProbaBatch predicts many samples with a bounded worker
+	// pool; workers <= 0 selects GOMAXPROCS.
+	PredictProbaBatch(X [][]float64, workers int) [][]float64
+	// MarshalJSON serialises the fitted model parameters; Unmarshal with
+	// the same kind restores a behaviourally identical model.
+	json.Marshaler
+}
+
+// Importancer is the optional interface of models exposing per-column
+// feature importances (the Random Forest's Table 5 surface).
+type Importancer interface {
+	Importances() []float64
+}
+
+// Options carries the per-kind training parameters; each TrainFunc
+// reads only its own field (parallelism knobs live inside the per-kind
+// params, e.g. rf.Params.Workers).
+type Options struct {
+	// Forest configures the "rf" kind.
+	Forest rf.Params
+	// KNN configures the "knn" kind.
+	KNN knn.Params
+	// SVM configures the "svm" kind.
+	SVM svm.Params
+}
+
+// TrainFunc fits a model of one kind on the feature matrix X with
+// integer labels y in [0, numClasses).
+type TrainFunc func(X [][]float64, y []int, numClasses int, opt Options) (Model, error)
+
+// UnmarshalFunc restores a model of one kind from its MarshalJSON
+// payload.
+type UnmarshalFunc func(data []byte) (Model, error)
+
+// factory pairs the two constructors of one registered kind.
+type factory struct {
+	train     TrainFunc
+	unmarshal UnmarshalFunc
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]factory{}
+)
+
+// Register installs a model kind. Registering an already-registered kind
+// panics: kinds are persisted in model artifacts, so silent replacement
+// would change what stored models load as.
+func Register(kind string, train TrainFunc, unmarshal UnmarshalFunc) {
+	if kind == "" || train == nil || unmarshal == nil {
+		panic("model: Register with empty kind or nil constructor")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("model: kind %q registered twice", kind))
+	}
+	registry[kind] = factory{train: train, unmarshal: unmarshal}
+}
+
+// Kinds returns the registered kind tags, sorted.
+func Kinds() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup resolves a kind; the empty kind selects the default Random
+// Forest so zero-valued configurations keep the paper's model.
+func lookup(kind string) (factory, string, error) {
+	if kind == "" {
+		kind = KindRF
+	}
+	registryMu.RLock()
+	f, ok := registry[kind]
+	registryMu.RUnlock()
+	if !ok {
+		return factory{}, kind, fmt.Errorf("model: unknown kind %q (registered: %v)", kind, Kinds())
+	}
+	return f, kind, nil
+}
+
+// Validate reports whether the kind is registered ("" selects the
+// default and is always valid). Callers that do expensive work before
+// training — featurisation, tuning splits — should validate first so a
+// typo fails in microseconds, not minutes.
+func Validate(kind string) error {
+	_, _, err := lookup(kind)
+	return err
+}
+
+// Train fits a model of the given kind ("" selects the default "rf").
+func Train(kind string, X [][]float64, y []int, numClasses int, opt Options) (Model, error) {
+	f, kind, err := lookup(kind)
+	if err != nil {
+		return nil, err
+	}
+	m, err := f.train(X, y, numClasses, opt)
+	if err != nil {
+		return nil, fmt.Errorf("model: training %s: %w", kind, err)
+	}
+	return m, nil
+}
+
+// Unmarshal restores a model of the given kind from its persisted
+// payload.
+func Unmarshal(kind string, data []byte) (Model, error) {
+	f, kind, err := lookup(kind)
+	if err != nil {
+		return nil, err
+	}
+	m, err := f.unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("model: loading %s: %w", kind, err)
+	}
+	return m, nil
+}

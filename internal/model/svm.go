@@ -1,0 +1,48 @@
+package model
+
+import (
+	"encoding/json"
+
+	"repro/internal/svm"
+)
+
+func init() {
+	Register(KindSVM, trainSVM, unmarshalSVM)
+}
+
+// svmModel adapts *svm.Classifier to the Model interface.
+type svmModel struct {
+	c *svm.Classifier
+}
+
+func trainSVM(X [][]float64, y []int, numClasses int, opt Options) (Model, error) {
+	c, err := svm.Train(X, y, numClasses, opt.SVM)
+	if err != nil {
+		return nil, err
+	}
+	return &svmModel{c: c}, nil
+}
+
+func unmarshalSVM(data []byte) (Model, error) {
+	c := &svm.Classifier{}
+	if err := json.Unmarshal(data, c); err != nil {
+		return nil, err
+	}
+	return &svmModel{c: c}, nil
+}
+
+func (m *svmModel) Kind() string     { return KindSVM }
+func (m *svmModel) NumClasses() int  { return m.c.NumClasses() }
+func (m *svmModel) NumFeatures() int { return m.c.NumFeatures() }
+
+func (m *svmModel) PredictProba(x []float64) []float64 {
+	return m.c.PredictProba(x)
+}
+
+func (m *svmModel) PredictProbaBatch(X [][]float64, workers int) [][]float64 {
+	return m.c.PredictProbaBatch(X, workers)
+}
+
+func (m *svmModel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.c)
+}

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -357,26 +358,10 @@ func (f *Forest) Predict(x []float64) int {
 // PredictProbaBatch predicts distributions for many samples in parallel.
 // workers <= 0 selects GOMAXPROCS.
 func (f *Forest) PredictProbaBatch(X [][]float64, workers int) [][]float64 {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	out := make([][]float64, len(X))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out[i] = f.PredictProba(X[i])
-			}
-		}()
-	}
-	for i := range X {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	par.Map(len(X), workers, func(i int) {
+		out[i] = f.PredictProba(X[i])
+	})
 	return out
 }
 

@@ -44,7 +44,7 @@ const (
 type Cache[V any] struct {
 	shards   []cacheShard[V]
 	perShard int // max entries per shard; 0 = unbounded
-	evicted  atomic.Uint64
+	evicted  *atomic.Uint64
 }
 
 type cacheShard[V any] struct {
@@ -61,6 +61,15 @@ type cacheEntry[V any] struct {
 // NewCache builds a cache holding at most capacity entries;
 // capacity <= 0 means unbounded.
 func NewCache[V any](capacity int) *Cache[V] {
+	return NewCacheCounted[V](capacity, nil)
+}
+
+// NewCacheCounted builds a cache whose evictions increment an external
+// counter, letting an owner that replaces caches wholesale (the serving
+// engine's epoch swap) keep one exact, monotonic eviction total even
+// when a retired cache takes straggler inserts. A nil counter gives the
+// cache its own.
+func NewCacheCounted[V any](capacity int, evicted *atomic.Uint64) *Cache[V] {
 	shards := maxCacheShards
 	if capacity > 0 {
 		if s := capacity / minEntriesPerShard; s < shards {
@@ -70,7 +79,10 @@ func NewCache[V any](capacity int) *Cache[V] {
 			shards = 1
 		}
 	}
-	c := &Cache[V]{shards: make([]cacheShard[V], shards)}
+	if evicted == nil {
+		evicted = &atomic.Uint64{}
+	}
+	c := &Cache[V]{shards: make([]cacheShard[V], shards), evicted: evicted}
 	if capacity > 0 {
 		c.perShard = (capacity + shards - 1) / shards
 	}

@@ -18,6 +18,13 @@
 //
 // Predictions are bit-identical to calling Classifier.Classify directly:
 // batching changes scheduling, never arithmetic.
+//
+// Retrain-and-redeploy is first class: Swap atomically installs a new
+// backend without stopping the engine. The cache, the coalescing map and
+// the backend are grouped into one epoch that is replaced wholesale, so
+// a prediction cached under the old model can never answer a request
+// issued after the swap, and every request is answered entirely by one
+// model — never a featurise-here, threshold-there blend.
 package serve
 
 import (
@@ -91,12 +98,15 @@ type Stats struct {
 	// Coalesced counts requests that piggybacked on an in-flight
 	// classification of the same binary instead of featurising again.
 	Coalesced uint64
-	// Evicted counts cache entries dropped to respect the LRU bound.
+	// Evicted counts cache entries dropped to respect the LRU bound,
+	// summed over all epochs.
 	Evicted uint64
+	// Swaps counts backend hot-swaps.
+	Swaps uint64
 	// Batches and BatchedSamples describe the dispatched windows;
 	// MaxBatch is the largest window observed.
 	Batches, BatchedSamples, MaxBatch uint64
-	// CacheEntries is the current prediction-cache population.
+	// CacheEntries is the current epoch's prediction-cache population.
 	CacheEntries int
 }
 
@@ -112,12 +122,31 @@ type flight struct {
 	pred core.Prediction
 }
 
+// epoch groups the serving state that must change together on a model
+// swap: the backend plus the prediction cache and coalescing map built
+// over that backend's outputs. Classify captures one epoch pointer and
+// uses it throughout, so a request's cache bookkeeping can never cross
+// model generations; Swap replaces the whole epoch atomically, instantly
+// orphaning every prediction cached under the previous model.
+type epoch struct {
+	backend Backend
+	cache   *Cache[core.Prediction] // nil when disabled
+
+	inflightMu sync.Mutex
+	inflight   map[Key]*flight
+}
+
 // Engine is a concurrency-safe serving front for a classifier.
 // Create with New, release with Close.
 type Engine struct {
-	backend Backend
-	opt     Options
-	cache   *Cache[core.Prediction] // nil when disabled
+	opt   Options
+	state atomic.Pointer[epoch]
+
+	// swapMu is held shared for the whole execute-and-deliver span of a
+	// batch and exclusively by Swap: acquiring the write lock drains
+	// every in-flight window, so after Swap returns no prediction
+	// computed by the previous backend is still undelivered.
+	swapMu sync.RWMutex
 
 	queue  chan *request
 	sem    chan struct{} // bounds concurrent window executions
@@ -126,35 +155,65 @@ type Engine struct {
 	sendMu sync.RWMutex // guards queue sends against Close
 	closed bool
 
-	inflightMu sync.Mutex
-	inflight   map[Key]*flight
-
 	closeOnce sync.Once
 
 	hits, misses, coalesced       atomic.Uint64
 	batches, batchedSamples, maxB atomic.Uint64
+	swaps                         atomic.Uint64
+	// cacheEvicted is shared by every epoch's cache, so Stats.Evicted
+	// stays exact across swaps even when a retired cache takes straggler
+	// inserts after its epoch ended.
+	cacheEvicted atomic.Uint64
+}
+
+// newEpoch builds a fresh epoch over a backend.
+func (e *Engine) newEpoch(backend Backend) *epoch {
+	ep := &epoch{backend: backend, inflight: map[Key]*flight{}}
+	if e.opt.CacheEntries > 0 {
+		ep.cache = NewCacheCounted[core.Prediction](e.opt.CacheEntries, &e.cacheEvicted)
+	}
+	return ep
 }
 
 // New starts an engine over a backend. The caller owns the backend;
 // retuning it (SetThreshold, SetBruteForceFeaturize on a classifier)
 // while the engine serves is safe, but predictions cached before a
-// threshold change keep their old labels — serve a fresh engine when
-// relabelling history matters.
+// threshold change keep their old labels — Swap in a fresh backend (or
+// the same one) when relabelling history matters.
 func New(backend Backend, opt Options) *Engine {
 	opt = opt.withDefaults()
 	e := &Engine{
-		backend:  backend,
-		opt:      opt,
-		queue:    make(chan *request, opt.QueueDepth),
-		sem:      make(chan struct{}, opt.Workers),
-		inflight: map[Key]*flight{},
+		opt:   opt,
+		queue: make(chan *request, opt.QueueDepth),
+		sem:   make(chan struct{}, opt.Workers),
 	}
-	if opt.CacheEntries > 0 {
-		e.cache = NewCache[core.Prediction](opt.CacheEntries)
-	}
+	e.state.Store(e.newEpoch(backend))
 	e.loopWG.Add(1)
 	go e.dispatch()
 	return e
+}
+
+// Swap atomically replaces the serving backend with zero downtime:
+// concurrent Classify calls keep flowing, none is dropped, and each is
+// answered entirely by one backend. Swap installs a fresh epoch — new
+// cache, new coalescing map — and then waits for every window still
+// executing on the previous backend to deliver, so when Swap returns:
+//
+//   - every subsequently delivered prediction was computed by the new
+//     backend (or a newer one);
+//   - no prediction cached under the previous model can ever be served
+//     again — the old cache is orphaned wholesale, not invalidated
+//     entry by entry.
+//
+// The old backend is released to the garbage collector once its last
+// straggler delivers. Swap is safe to call concurrently with Classify,
+// Close and other Swaps.
+func (e *Engine) Swap(backend Backend) {
+	ns := e.newEpoch(backend)
+	e.swapMu.Lock()
+	e.state.Store(ns)
+	e.swapMu.Unlock()
+	e.swaps.Add(1)
 }
 
 // Classify predicts one sample, blocking until the prediction is
@@ -162,19 +221,20 @@ func New(backend Backend, opt Options) *Engine {
 // the cache or coalesced onto an in-flight classification; fresh
 // binaries ride a micro-batch window.
 func (e *Engine) Classify(s *dataset.Sample) core.Prediction {
+	st := e.state.Load()
 	key, keyed := SampleKey(s)
-	if !keyed || e.cache == nil {
+	if !keyed || st.cache == nil {
 		e.misses.Add(1)
 		return e.enqueue(s)
 	}
-	if p, ok := e.cache.Get(key); ok {
+	if p, ok := st.cache.Get(key); ok {
 		e.hits.Add(1)
 		return p
 	}
 
-	e.inflightMu.Lock()
-	if f, ok := e.inflight[key]; ok {
-		e.inflightMu.Unlock()
+	st.inflightMu.Lock()
+	if f, ok := st.inflight[key]; ok {
+		st.inflightMu.Unlock()
 		e.coalesced.Add(1)
 		<-f.done
 		return f.pred
@@ -182,22 +242,27 @@ func (e *Engine) Classify(s *dataset.Sample) core.Prediction {
 	// Losing the Get race above to a completed flight is possible;
 	// re-check the cache under the inflight lock so we never refeaturise
 	// a binary that finished in the gap.
-	if p, ok := e.cache.Get(key); ok {
-		e.inflightMu.Unlock()
+	if p, ok := st.cache.Get(key); ok {
+		st.inflightMu.Unlock()
 		e.hits.Add(1)
 		return p
 	}
 	f := &flight{done: make(chan struct{})}
-	e.inflight[key] = f
-	e.inflightMu.Unlock()
+	st.inflight[key] = f
+	st.inflightMu.Unlock()
 
 	e.misses.Add(1)
 	pred := e.enqueue(s)
 	f.pred = pred
-	e.cache.Add(key, pred)
-	e.inflightMu.Lock()
-	delete(e.inflight, key)
-	e.inflightMu.Unlock()
+	// Bookkeeping stays within the captured epoch: if a Swap retired it
+	// while this request was in flight, the Add lands in the orphaned
+	// cache and is never served — the live epoch only ever caches
+	// predictions computed by its own backend (or a newer one, equally
+	// fresh by then).
+	st.cache.Add(key, pred)
+	st.inflightMu.Lock()
+	delete(st.inflight, key)
+	st.inflightMu.Unlock()
 	close(f.done)
 	return pred
 }
@@ -235,9 +300,13 @@ func (e *Engine) enqueue(s *dataset.Sample) core.Prediction {
 }
 
 // direct classifies one sample synchronously, bypassing the batcher.
+// Like a batch, it runs entirely on one backend under the swap lock.
 func (e *Engine) direct(s *dataset.Sample) core.Prediction {
-	probas := e.backend.PredictProbaBatch([]dataset.Sample{*s})
-	return e.backend.PredictFromProba(probas[0])
+	e.swapMu.RLock()
+	defer e.swapMu.RUnlock()
+	backend := e.state.Load().backend
+	probas := backend.PredictProbaBatch([]dataset.Sample{*s})
+	return backend.PredictFromProba(probas[0])
 }
 
 // dispatch accumulates requests into windows bounded by BatchSize and
@@ -309,8 +378,13 @@ func (e *Engine) fill(first *request) (batch []*request, acquired bool) {
 	return batch, false
 }
 
-// runBatch executes one window on the backend's batch path and delivers
-// per-request predictions with a fresh threshold read each.
+// runBatch executes one window and delivers per-request predictions
+// with a fresh threshold read each. The backend is resolved once, under
+// the swap lock, and used for the whole window — probability prediction
+// and thresholding — so every request in the window is answered by
+// exactly one model generation. Delivery happens inside the lock span:
+// Swap's write lock therefore drains every window computed by the
+// outgoing backend before it returns.
 func (e *Engine) runBatch(b []*request) {
 	e.batches.Add(1)
 	e.batchedSamples.Add(uint64(len(b)))
@@ -324,9 +398,12 @@ func (e *Engine) runBatch(b []*request) {
 	for i, r := range b {
 		samples[i] = *r.sample
 	}
-	probas := e.backend.PredictProbaBatch(samples)
+	e.swapMu.RLock()
+	defer e.swapMu.RUnlock()
+	backend := e.state.Load().backend
+	probas := backend.PredictProbaBatch(samples)
 	for i, r := range b {
-		r.out <- e.backend.PredictFromProba(probas[i])
+		r.out <- backend.PredictFromProba(probas[i])
 	}
 }
 
@@ -336,13 +413,14 @@ func (e *Engine) Stats() Stats {
 		Hits:           e.hits.Load(),
 		Misses:         e.misses.Load(),
 		Coalesced:      e.coalesced.Load(),
+		Evicted:        e.cacheEvicted.Load(),
+		Swaps:          e.swaps.Load(),
 		Batches:        e.batches.Load(),
 		BatchedSamples: e.batchedSamples.Load(),
 		MaxBatch:       e.maxB.Load(),
 	}
-	if e.cache != nil {
-		st.Evicted = e.cache.Evicted()
-		st.CacheEntries = e.cache.Len()
+	if cache := e.state.Load().cache; cache != nil {
+		st.CacheEntries = cache.Len()
 	}
 	return st
 }

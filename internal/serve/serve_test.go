@@ -338,8 +338,8 @@ func TestEngineDifferential(t *testing.T) {
 	}
 
 	for _, opt := range []Options{
-		{},                             // defaults: cache + coalescing on
-		{CacheEntries: -1},             // cache disabled: everything batches
+		{},                              // defaults: cache + coalescing on
+		{CacheEntries: -1},              // cache disabled: everything batches
 		{BatchSize: 3, CacheEntries: 8}, // tiny windows, evicting cache
 	} {
 		e := New(clf, opt)

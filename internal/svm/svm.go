@@ -6,9 +6,11 @@
 package svm
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -150,4 +152,65 @@ func (c *Classifier) Predict(x []float64) int {
 		}
 	}
 	return best
+}
+
+// PredictProbaBatch predicts calibrated distributions for many samples
+// with a bounded worker pool, matching the batch surface of the rf and
+// knn packages. workers <= 0 selects GOMAXPROCS.
+func (c *Classifier) PredictProbaBatch(X [][]float64, workers int) [][]float64 {
+	out := make([][]float64, len(X))
+	par.Map(len(X), workers, func(i int) {
+		out[i] = c.PredictProba(X[i])
+	})
+	return out
+}
+
+// NumClasses returns the number of classes the model was trained on.
+func (c *Classifier) NumClasses() int { return c.numClasses }
+
+// NumFeatures returns the input dimensionality.
+func (c *Classifier) NumFeatures() int {
+	if len(c.w) == 0 {
+		return 0
+	}
+	return len(c.w[0])
+}
+
+// classifierDTO is the JSON shape of a fitted SVM: the per-class
+// hyperplanes plus the input scale — no training data.
+type classifierDTO struct {
+	Weights    [][]float64 `json:"weights"`
+	Biases     []float64   `json:"biases"`
+	NumClasses int         `json:"num_classes"`
+	Scale      float64     `json:"scale"`
+}
+
+// MarshalJSON serialises the fitted model.
+func (c *Classifier) MarshalJSON() ([]byte, error) {
+	return json.Marshal(classifierDTO{
+		Weights: c.w, Biases: c.b, NumClasses: c.numClasses, Scale: c.scale,
+	})
+}
+
+// UnmarshalJSON restores a model written by MarshalJSON.
+func (c *Classifier) UnmarshalJSON(data []byte) error {
+	var dto classifierDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return fmt.Errorf("svm: decoding model: %w", err)
+	}
+	if dto.NumClasses < 2 || len(dto.Weights) != dto.NumClasses || len(dto.Biases) != dto.NumClasses {
+		return fmt.Errorf("svm: malformed model: %d classes, %d weight vectors, %d biases",
+			dto.NumClasses, len(dto.Weights), len(dto.Biases))
+	}
+	dim := len(dto.Weights[0])
+	for i, w := range dto.Weights {
+		if len(w) != dim {
+			return fmt.Errorf("svm: weight vector %d has %d features, want %d", i, len(w), dim)
+		}
+	}
+	if dto.Scale <= 0 {
+		return fmt.Errorf("svm: malformed model: non-positive scale %v", dto.Scale)
+	}
+	c.w, c.b, c.numClasses, c.scale = dto.Weights, dto.Biases, dto.NumClasses, dto.Scale
+	return nil
 }
