@@ -16,10 +16,13 @@
 //	fhc classify -model FILE BINARY...
 //	fhc report   -corpus DIR -model FILE [-format text|csv|md]
 //	fhc dups     [-min SCORE] [-feature NAME] [-within] DIR
-//	fhc serve    -model FILE [-policy FILE] [-input FILE] [-batch N] [-latency D] [-cache N] [-stats]
+//	fhc serve    -model FILE [-policy FILE] [-input FILE|none] [-http ADDR] [-batch N] [-latency D] [-cache N] [-stats]
 //
 // serve accepts {"reload":"FILE"} control lines that hot-swap a
-// retrained model into the running engine with zero downtime.
+// retrained model into the running engine with zero downtime, and with
+// -http ADDR additionally exposes the engine over HTTP: classify,
+// batch-classify, model-swap, health and Prometheus metrics endpoints
+// (see internal/httpserve).
 package main
 
 import (

@@ -5,10 +5,14 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/synth"
 )
@@ -424,6 +428,138 @@ func TestCmdServeReload(t *testing.T) {
 	if !strings.Contains(got[5], `"error"`) || !strings.Contains(got[5], `"job_id":"4"`) ||
 		strings.Contains(got[5], `"label"`) {
 		t.Fatalf("mixed control/job line not rejected: %s", got[5])
+	}
+}
+
+// TestCmdServeUnknownVerb pins the control-line failure mode: a
+// mistyped or unsupported control object must be rejected with a
+// structured unknown-field error, not fed into featurisation where it
+// would surface as a baffling "neither path nor binary_b64" error.
+func TestCmdServeUnknownVerb(t *testing.T) {
+	dir, binary := makeTree(t)
+	model := filepath.Join(t.TempDir(), "model.json")
+	if _, err := withStdout(t, func() error {
+		return cmdTrain([]string{"-corpus", dir, "-model", model, "-threshold", "0.3", "-trees", "40"})
+	}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	lines := []string{
+		`{"relaod":"/models/new.json"}`, // typo'd control verb
+		`{"shutdown":true}`,             // unsupported control verb
+		// A job event carrying a producer-side extra field must keep
+		// classifying: strict decoding applies to control objects only.
+		`{"job_id":"1","exe":"a","path":"` + binary + `","timestamp":123}`,
+	}
+	if err := os.WriteFile(events, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := withStdout(t, func() error {
+		return cmdServe([]string{"-model", model, "-input", events})
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	got := strings.Split(strings.TrimSpace(out), "\n")
+	if len(got) != len(lines) {
+		t.Fatalf("serve emitted %d results for %d lines:\n%s", len(got), len(lines), out)
+	}
+	for i, verb := range []string{"relaod", "shutdown"} {
+		if !strings.Contains(got[i], `"error"`) || !strings.Contains(got[i], verb) {
+			t.Fatalf("unknown verb %q not rejected with a structured error: %s", verb, got[i])
+		}
+		if strings.Contains(got[i], "binary_b64") {
+			t.Fatalf("unknown verb %q fell through to featurisation: %s", verb, got[i])
+		}
+	}
+	if !strings.Contains(got[2], `"label":"AppOne"`) {
+		t.Fatalf("stream did not survive the rejected control lines: %s", got[2])
+	}
+}
+
+// TestCmdServeHTTP drives the network mode end to end: `-input none
+// -http 127.0.0.1:0` serves the HTTP API until the shutdown trigger,
+// classifying and exposing metrics over a real socket.
+func TestCmdServeHTTP(t *testing.T) {
+	dir, binary := makeTree(t)
+	model := filepath.Join(t.TempDir(), "model.json")
+	if _, err := withStdout(t, func() error {
+		return cmdTrain([]string{"-corpus", dir, "-model", model, "-threshold", "0.3", "-trees", "40"})
+	}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+
+	bound := make(chan string, 1)
+	var shutdown func()
+	var shutdownMu sync.Mutex
+	serveHTTPBound = func(addr string, stop func()) {
+		shutdownMu.Lock()
+		shutdown = stop
+		shutdownMu.Unlock()
+		bound <- addr
+	}
+	defer func() { serveHTTPBound = nil }()
+
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- cmdServe([]string{"-model", model, "-input", "none", "-http", "127.0.0.1:0", "-http-paths"})
+	}()
+	var base string
+	select {
+	case addr := <-bound:
+		base = "http://" + addr
+	case err := <-serveDone:
+		t.Fatalf("serve exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("HTTP listener never bound")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// Classify by server-local path (-http-paths opted in).
+	body := `{"exe":"job","path":"` + binary + `"}`
+	cresp, err := http.Post(base+"/v1/classify", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(cresp.Body)
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK || !strings.Contains(string(raw), `"label":"AppOne"`) {
+		t.Fatalf("classify over HTTP: %d %s", cresp.StatusCode, raw)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mraw), "fhc_engine_cache_misses_total") {
+		t.Fatalf("metrics exposition missing engine counters:\n%.400s", mraw)
+	}
+
+	shutdownMu.Lock()
+	stop := shutdown
+	shutdownMu.Unlock()
+	stop()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve did not shut down cleanly: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("serve did not exit after shutdown")
+	}
+
+	if err := cmdServe([]string{"-model", model, "-input", "none"}); err == nil {
+		t.Error("-input none without -http accepted")
 	}
 }
 

@@ -23,19 +23,35 @@ package main
 // Policy file (optional, -policy):
 //
 //	{"allowed_by_account":{"bio-1":["BLAST"]},"blocklist":["XMRig"]}
+//
+// With -http ADDR the same engine is additionally exposed over the
+// network (internal/httpserve): classify, batch-classify, model-swap,
+// health and Prometheus metrics endpoints, sharing the stream loop's
+// extraction cache. `-input none -http :8080` serves HTTP only and runs
+// until SIGINT/SIGTERM; with a finite -input the process drains the
+// HTTP listener gracefully once the stream ends.
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/collector"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/httpserve"
 	"repro/internal/monitor"
 	"repro/internal/serve"
 )
@@ -85,11 +101,19 @@ type servePolicy struct {
 	Blocklist        []string            `json:"blocklist"`
 }
 
+// serveHTTPBound, when non-nil, observes the bound HTTP address and a
+// shutdown trigger equivalent to SIGINT. Tests use it to drive the
+// blocking HTTP mode without signals.
+var serveHTTPBound func(addr string, shutdown func())
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	modelPath := fs.String("model", "", "model file (required)")
 	policyPath := fs.String("policy", "", "JSON policy file (optional)")
-	input := fs.String("input", "-", "event stream: a JSON-lines file, or - for stdin")
+	input := fs.String("input", "-", "event stream: a JSON-lines file, - for stdin, or none (HTTP only)")
+	httpAddr := fs.String("http", "", "also serve the HTTP API on this address (e.g. :8080)")
+	httpPaths := fs.Bool("http-paths", false, "allow HTTP classify requests naming server-local paths")
+	httpModels := fs.String("http-models", "", "confine HTTP model-swap artifact paths to this directory (empty allows any)")
 	batch := fs.Int("batch", 0, "micro-batch window size (0 = engine default)")
 	latency := fs.Duration("latency", 0, "micro-batch latency bound (0 = engine default)")
 	workers := fs.Int("workers", 0, "concurrent batch executors (0 = engine default)")
@@ -104,6 +128,9 @@ func cmdServe(args []string) error {
 	}
 	if *chunk < 1 {
 		return errors.New("-chunk must be at least 1")
+	}
+	if *input == "none" && *httpAddr == "" {
+		return errors.New("-input none requires -http: nothing to serve")
 	}
 
 	clf, err := loadModel(*modelPath)
@@ -125,7 +152,7 @@ func cmdServe(args []string) error {
 	}
 
 	in := os.Stdin
-	if *input != "-" {
+	if *input != "-" && *input != "none" {
 		f, err := os.Open(*input)
 		if err != nil {
 			return err
@@ -143,6 +170,32 @@ func cmdServe(args []string) error {
 	defer engine.Close()
 	mon := monitor.New(engine, policy)
 	coll := collector.New(collector.Options{})
+
+	// The HTTP front end shares the stream loop's engine and extraction
+	// cache: a binary seen on either surface is extracted once.
+	var hs *httpserve.Server
+	var httpErr chan error
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	requestStop := func() { stopOnce.Do(func() { close(stop) }) }
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		hs = httpserve.New(engine, httpserve.Options{
+			AllowPaths: *httpPaths,
+			ModelDir:   *httpModels,
+			Collector:  coll,
+		})
+		httpErr = make(chan error, 1)
+		go func() { httpErr <- hs.Serve(ln) }()
+		fmt.Fprintf(os.Stderr, "fhc serve: HTTP API on http://%s\n", ln.Addr())
+		if serveHTTPBound != nil {
+			serveHTTPBound(ln.Addr().String(), requestStop)
+		}
+	}
+
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	enc := json.NewEncoder(out)
@@ -182,84 +235,136 @@ func cmdServe(args []string) error {
 		return out.Flush()
 	}
 
-	scanner := bufio.NewScanner(in)
-	scanner.Buffer(make([]byte, 0, 1<<20), 64<<20) // inline binaries are large
-	lineNo := 0
-	for scanner.Scan() {
-		lineNo++
-		line := scanner.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var ev serveEvent
-		if err := json.Unmarshal(line, &ev); err != nil {
-			results = append(results, serveResult{JobID: ev.JobID,
-				Error: fmt.Sprintf("line %d: %v", lineNo, err)})
-			obsIndex = append(obsIndex, -1)
-			continue
-		}
-		if ev.Reload != "" {
-			// Control line: hot-swap the model. A line mixing control and
-			// job fields is a producer bug — rejecting it beats silently
-			// dropping the job's prediction.
-			if ev.JobID != "" || ev.Path != "" || ev.BinaryB64 != "" || ev.Exe != "" ||
-				ev.User != "" || ev.Account != "" || ev.JobName != "" {
+	runStream := func() error {
+		scanner := bufio.NewScanner(in)
+		scanner.Buffer(make([]byte, 0, 1<<20), 64<<20) // inline binaries are large
+		lineNo := 0
+		for scanner.Scan() {
+			lineNo++
+			line := scanner.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var ev serveEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
 				results = append(results, serveResult{JobID: ev.JobID,
-					Error: fmt.Sprintf("line %d: reload control line carries job fields", lineNo)})
+					Error: fmt.Sprintf("line %d: %v", lineNo, err)})
 				obsIndex = append(obsIndex, -1)
 				continue
 			}
-			// The window in progress is flushed first so the
-			// acknowledgement lands in stream order; the engine itself
-			// needs no quiescing — Swap is zero-downtime.
-			if err := flush(); err != nil {
-				return err
+			// A line that decodes to an entirely empty event is an unknown
+			// control object — a mistyped verb like {"relaod":...} or an
+			// unsupported one like {"shutdown":true}. Re-decode strictly to
+			// name the offending field instead of letting the line surface
+			// as a baffling "neither path nor binary_b64" featurisation
+			// error. Job events keep the lenient decode, so producers may
+			// add extra fields (timestamps, priorities) freely.
+			if ev == (serveEvent{}) {
+				dec := json.NewDecoder(bytes.NewReader(line))
+				dec.DisallowUnknownFields()
+				err := dec.Decode(&serveEvent{})
+				if err == nil {
+					err = errors.New("event is empty")
+				}
+				results = append(results, serveResult{
+					Error: fmt.Sprintf("line %d: unknown control object: %v", lineNo, err)})
+				obsIndex = append(obsIndex, -1)
+				continue
 			}
-			res := serveResult{Reloaded: ev.Reload}
-			if next, err := loadModel(ev.Reload); err != nil {
-				// The previous model keeps serving; the stream continues.
-				res.Error = fmt.Sprintf("line %d: %v", lineNo, err)
+			if ev.Reload != "" {
+				// Control line: hot-swap the model. A line mixing control and
+				// job fields is a producer bug — rejecting it beats silently
+				// dropping the job's prediction.
+				if ev.JobID != "" || ev.Path != "" || ev.BinaryB64 != "" || ev.Exe != "" ||
+					ev.User != "" || ev.Account != "" || ev.JobName != "" {
+					results = append(results, serveResult{JobID: ev.JobID,
+						Error: fmt.Sprintf("line %d: reload control line carries job fields", lineNo)})
+					obsIndex = append(obsIndex, -1)
+					continue
+				}
+				// The window in progress is flushed first so the
+				// acknowledgement lands in stream order; the engine itself
+				// needs no quiescing — Swap is zero-downtime.
+				if err := flush(); err != nil {
+					return err
+				}
+				res := serveResult{Reloaded: ev.Reload}
+				if next, err := loadModel(ev.Reload); err != nil {
+					// The previous model keeps serving; the stream continues.
+					res.Error = fmt.Sprintf("line %d: %v", lineNo, err)
+				} else {
+					engine.Swap(next)
+					res.ModelKind = next.ModelKind()
+				}
+				results = append(results, res)
+				obsIndex = append(obsIndex, -1)
+				if err := flush(); err != nil {
+					return err
+				}
+				continue
+			}
+			bin, err := eventBinary(&ev)
+			var sample dataset.Sample
+			var cached bool
+			if err == nil {
+				sample, cached, err = coll.Collect(ev.Exe, bin)
+			}
+			if err != nil {
+				results = append(results, serveResult{JobID: ev.JobID,
+					Error: fmt.Sprintf("line %d: %v", lineNo, err)})
+				obsIndex = append(obsIndex, -1)
 			} else {
-				engine.Swap(next)
-				res.ModelKind = next.ModelKind()
+				results = append(results, serveResult{JobID: ev.JobID})
+				obsIndex = append(obsIndex, len(pending))
+				cachedFlags = append(cachedFlags, cached)
+				pending = append(pending, monitor.Event{
+					JobID: ev.JobID, User: ev.User, Account: ev.Account,
+					JobName: ev.JobName, Sample: sample,
+				})
 			}
-			results = append(results, res)
-			obsIndex = append(obsIndex, -1)
-			if err := flush(); err != nil {
-				return err
-			}
-			continue
-		}
-		bin, err := eventBinary(&ev)
-		var sample dataset.Sample
-		var cached bool
-		if err == nil {
-			sample, cached, err = coll.Collect(ev.Exe, bin)
-		}
-		if err != nil {
-			results = append(results, serveResult{JobID: ev.JobID,
-				Error: fmt.Sprintf("line %d: %v", lineNo, err)})
-			obsIndex = append(obsIndex, -1)
-		} else {
-			results = append(results, serveResult{JobID: ev.JobID})
-			obsIndex = append(obsIndex, len(pending))
-			cachedFlags = append(cachedFlags, cached)
-			pending = append(pending, monitor.Event{
-				JobID: ev.JobID, User: ev.User, Account: ev.Account,
-				JobName: ev.JobName, Sample: sample,
-			})
-		}
-		if len(pending) >= *chunk {
-			if err := flush(); err != nil {
-				return err
+			if len(pending) >= *chunk {
+				if err := flush(); err != nil {
+					return err
+				}
 			}
 		}
+		if err := scanner.Err(); err != nil {
+			return err
+		}
+		return flush()
 	}
-	if err := scanner.Err(); err != nil {
-		return err
+
+	if *input != "none" {
+		if err := runStream(); err != nil {
+			return err
+		}
+	} else {
+		// HTTP-only mode: block until a shutdown signal (or the test
+		// hook's trigger, or a listener failure).
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		select {
+		case s := <-sig:
+			fmt.Fprintf(os.Stderr, "fhc serve: %v — draining\n", s)
+		case <-stop:
+		case err := <-httpErr:
+			signal.Stop(sig)
+			return err // listener died before any shutdown request
+		}
+		signal.Stop(sig)
 	}
-	if err := flush(); err != nil {
-		return err
+
+	// Graceful HTTP drain: stop advertising readiness, finish in-flight
+	// requests (their engine windows included), then release the port.
+	if hs != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-httpErr; err != nil && err != http.ErrServerClosed {
+			return err
+		}
 	}
 
 	if *stats {
@@ -275,12 +380,7 @@ func cmdServe(args []string) error {
 
 // loadModel reads a trained classifier of any registered kind.
 func loadModel(path string) (*core.Classifier, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return core.Load(f)
+	return core.LoadFile(path)
 }
 
 // eventBinary resolves an event's executable content.

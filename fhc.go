@@ -30,7 +30,9 @@ import (
 	"repro/internal/collector"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/httpserve"
 	"repro/internal/knn"
+	"repro/internal/metrics"
 	"repro/internal/ml"
 	"repro/internal/model"
 	"repro/internal/monitor"
@@ -115,6 +117,30 @@ type (
 	// MonitorLabeler is the labelling surface a Monitor drives;
 	// *Classifier and *Engine both satisfy it.
 	MonitorLabeler = monitor.Labeler
+	// HTTPServer is the network front end over an Engine: the versioned
+	// classify/swap JSON API plus health and Prometheus metrics
+	// endpoints (see internal/httpserve).
+	HTTPServer = httpserve.Server
+	// HTTPServerOptions configures an HTTPServer: body limits,
+	// concurrency backpressure, path-request policy, model loading.
+	HTTPServerOptions = httpserve.Options
+	// HTTPClassifyRequest is the wire request of POST /v1/classify and
+	// each element of a batch request.
+	HTTPClassifyRequest = httpserve.ClassifyRequest
+	// HTTPClassifyResponse is one prediction on the wire.
+	HTTPClassifyResponse = httpserve.ClassifyResponse
+	// HTTPBatchRequest is the wire request of POST /v1/classify/batch.
+	HTTPBatchRequest = httpserve.BatchRequest
+	// HTTPBatchResponse holds batch results in request order.
+	HTTPBatchResponse = httpserve.BatchResponse
+	// HTTPSwapRequest names a model artifact for POST /v1/model/swap.
+	HTTPSwapRequest = httpserve.SwapRequest
+	// HTTPSwapResponse acknowledges an installed hot-swap.
+	HTTPSwapResponse = httpserve.SwapResponse
+	// MetricsRegistry is the dependency-free Prometheus-text metrics
+	// registry the HTTP layer exposes on GET /metrics; pass one via
+	// HTTPServerOptions.Registry to add application series.
+	MetricsRegistry = metrics.Registry
 )
 
 // UnknownLabel is the class label of samples that resemble no known
@@ -193,6 +219,24 @@ func NewCollector(opt CollectorOptions) *Collector {
 // under the previous model (see examples/model-swap).
 func NewEngine(clf *Classifier, opt EngineOptions) *Engine {
 	return serve.New(clf, opt)
+}
+
+// NewHTTPServer puts an engine on the network: a versioned JSON API
+// (POST /v1/classify, /v1/classify/batch, /v1/model/swap) with health
+// probes and a Prometheus /metrics endpoint wired into the engine's
+// cache, batching and swap counters. The zero HTTPServerOptions selects
+// production defaults: 64 MiB body limit, 8x GOMAXPROCS concurrent
+// requests (excess answered 429), server-local path requests disabled.
+// Run with ListenAndServe/Serve, drain with Shutdown; the caller keeps
+// ownership of the engine (see examples/http-serving).
+func NewHTTPServer(engine *Engine, opt HTTPServerOptions) *HTTPServer {
+	return httpserve.New(engine, opt)
+}
+
+// NewMetricsRegistry returns an empty metrics registry, for sharing one
+// exposition between the HTTP layer and application series.
+func NewMetricsRegistry() *MetricsRegistry {
+	return metrics.NewRegistry()
 }
 
 // Train fits a Fuzzy Hash Classifier on labelled training samples. With a

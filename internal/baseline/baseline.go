@@ -2,6 +2,9 @@
 // positions itself against: exact matching by cryptographic hash (which
 // "can only be used to find exact matches", §1) and matching by executable
 // name (which users "can easily and arbitrarily change", §1).
+//
+// Concurrency contract: both classifiers are immutable once fitted and
+// safe for concurrent Classify calls.
 package baseline
 
 import (

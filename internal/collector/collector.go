@@ -12,6 +12,13 @@
 // SHA-256 key, as the serving engine's prediction cache (package serve):
 // one content digest, computed here, identifies the binary through
 // extraction, classification and prediction reuse alike.
+//
+// Concurrency contract: a Collector is safe for concurrent Collect,
+// Known and Stats calls from any number of scheduler hooks. Concurrent
+// Collects of the same new binary may each pay extraction, but the
+// cache insert is first-write-wins: every caller receives the winner's
+// sample, so downstream layers never see two feature extractions of
+// one content digest.
 package collector
 
 import (

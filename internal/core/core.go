@@ -7,6 +7,13 @@
 // application class, and predictions whose confidence falls below a tuned
 // threshold are labelled "-1" (unknown) — the paper's signal for software
 // deviating from allocation purpose.
+//
+// Concurrency contract: a trained Classifier is read-mostly and safe for
+// concurrent Classify/ClassifyBatch/PredictProbaBatch/Featurize calls;
+// the two runtime tuning knobs, SetThreshold and SetBruteForceFeaturize,
+// are atomic and may be flipped while serving (each prediction reads a
+// consistent snapshot). Train itself is single-caller; it parallelises
+// internally via internal/par.
 package core
 
 import (

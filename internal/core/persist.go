@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/dataset"
 	"repro/internal/model"
@@ -86,6 +87,19 @@ func (c *Classifier) Save(w io.Writer) error {
 		return fmt.Errorf("core: saving model: %w", err)
 	}
 	return nil
+}
+
+// LoadFile reads a classifier artifact from disk. It is the
+// swap-from-artifact path shared by the CLI, the public facade and the
+// HTTP model-swap endpoint: one place resolves a file name into a
+// registry-checked classifier of any persisted version.
+func LoadFile(path string) (*Classifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
 }
 
 // rawIsNull reports whether a raw JSON payload is absent.

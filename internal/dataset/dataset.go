@@ -5,6 +5,12 @@
 // paper's future-work ldd feature). Samples come either from an in-memory
 // synthetic corpus or from scanning a directory tree laid out the way the
 // paper's cluster stores software: Class/Version/executable.
+//
+// Concurrency contract: Scan and FromCorpus extract in parallel
+// internally (bounded by their workers argument) and return only after
+// every extraction completes. A Sample is a plain value — once built it
+// is never mutated by this package, so samples may be shared, copied and
+// read from any goroutine.
 package dataset
 
 import (

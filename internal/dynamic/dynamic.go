@@ -14,6 +14,10 @@
 // depends on the profile, the input scale of that particular run, and
 // system noise. Fingerprint reduces a trace to per-metric statistical
 // features, the representation the related work feeds to classifiers.
+//
+// Concurrency contract: simulation is deterministic for a given seed and
+// single-goroutine; generated profiles, traces and fingerprints are
+// plain values, safe to read concurrently once built.
 package dynamic
 
 import (

@@ -7,6 +7,9 @@
 //
 // All functions operate on raw bytes; fuzzy digests are base64 text so byte
 // granularity is exact.
+//
+// Concurrency contract: the distance functions are pure and safe to call
+// concurrently; each call allocates its own working rows.
 package editdist
 
 // Levenshtein returns the classic edit distance between a and b counting

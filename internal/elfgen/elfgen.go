@@ -8,6 +8,9 @@
 // paper's three feature extractors (raw bytes, strings(1) output, nm(1)
 // global symbols) and its ldd future-work feature observe. The files parse
 // cleanly with debug/elf.
+//
+// Concurrency contract: Build is a pure function of its Spec — no
+// package state — and safe to call concurrently.
 package elfgen
 
 import (

@@ -3,6 +3,11 @@
 // returns structured rows and a Format method printing the same
 // presentation the paper uses; cmd/fhc-experiments renders them all and
 // the root bench_test.go exposes one benchmark per table/figure.
+//
+// Concurrency contract: each experiment runs in the calling goroutine
+// (training parallelises internally via the layers below) and is
+// deterministic for its seed; distinct experiments are independent and
+// may run concurrently.
 package experiments
 
 import (

@@ -11,6 +11,10 @@
 // Each extractor also has a *Text variant producing the canonical byte
 // stream that gets fuzzy-hashed, so the digest of a feature is defined in
 // exactly one place.
+//
+// Concurrency contract: every extractor is a pure function of its input
+// bytes — no package state — and safe to call concurrently; batch
+// extraction layers (dataset, collector) rely on that.
 package extract
 
 import (

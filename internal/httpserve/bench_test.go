@@ -1,0 +1,88 @@
+package httpserve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/collector"
+	"repro/internal/serve"
+)
+
+// BenchmarkHTTPClassify measures the warm path — duplicate submissions
+// answered from the prediction cache — through the full network stack:
+// JSON encode, HTTP round trip, base64 decode, collector dedup, engine
+// cache hit, JSON response. Compare against BenchmarkEngineClassify,
+// the same warm path without HTTP, to read the wire tax.
+func BenchmarkHTTPClassify(b *testing.B) {
+	fixture(b)
+	engine := serve.New(fixRF, serve.Options{})
+	defer engine.Close()
+	s := New(engine, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	payload, err := json.Marshal(ClassifyRequest{
+		Exe: "bench", BinaryB64: base64.StdEncoding.EncodeToString(fixBins[0]),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+	warm := func() {
+		resp, err := client.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	warm() // prime extraction and prediction caches
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := client.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+}
+
+// BenchmarkEngineClassify is the in-process baseline for
+// BenchmarkHTTPClassify: the identical warm submission stream handed
+// straight to collector + engine, no network, no JSON.
+func BenchmarkEngineClassify(b *testing.B) {
+	fixture(b)
+	engine := serve.New(fixRF, serve.Options{})
+	defer engine.Close()
+	coll := collector.New(collector.Options{})
+	if _, _, err := coll.Collect("bench", fixBins[0]); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sample, _, err := coll.Collect("bench", fixBins[0])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			engine.Classify(&sample)
+		}
+	})
+}

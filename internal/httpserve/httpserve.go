@@ -1,0 +1,538 @@
+// Package httpserve is the network front end of the classification
+// engine: the paper's Figure-1 deployment is an always-on cluster
+// service that ingests submitted binaries and classifies them
+// continuously, and this package puts that service on the wire. It
+// exposes the serving engine (internal/serve) over HTTP with a small,
+// versioned JSON API:
+//
+//	POST /v1/classify        classify one binary
+//	POST /v1/classify/batch  classify many binaries in one engine window
+//	POST /v1/model/swap      hot-swap a persisted model artifact
+//	GET  /healthz            liveness
+//	GET  /readyz             readiness (503 while shutting down)
+//	GET  /metrics            Prometheus text exposition
+//
+// The layer is production-shaped without being a framework: request
+// bodies are size-limited, classification routes sit behind a
+// concurrency semaphore that answers 429 when saturated (backpressure
+// instead of queue collapse), per-route request counts and latency
+// histograms are exported together with the engine's cache/batching/
+// swap counters through internal/metrics, and Shutdown stops accepting
+// work, lets in-flight requests drain through the engine's windows, and
+// only then returns.
+//
+// Concurrency contract: one Server serves arbitrarily many concurrent
+// requests; every handler is safe for concurrent use, model swaps
+// included — the engine's epoch semantics guarantee each request is
+// answered entirely by one model generation. Serve may be called once;
+// Shutdown at most once, from any goroutine.
+package httpserve
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// Options configures a Server. The zero value selects production
+// defaults.
+type Options struct {
+	// MaxBodyBytes caps a request body; larger requests are answered
+	// 413. Default 64 MiB (inline base64 binaries are large).
+	MaxBodyBytes int64
+	// MaxConcurrent bounds concurrently executing classification and
+	// swap requests; excess requests are answered 429 immediately —
+	// backpressure the submitting prolog can retry against. Health and
+	// metrics routes are exempt. Default 8x GOMAXPROCS; negative
+	// disables the limit.
+	MaxConcurrent int
+	// ReadTimeout bounds reading an entire request, body included. It
+	// is what keeps a slow client from parking inside the concurrency
+	// semaphore indefinitely and starving the classification routes.
+	// Default 2 minutes; negative disables it.
+	ReadTimeout time.Duration
+	// AllowPaths permits classify requests that name a server-local
+	// file path instead of carrying content inline. Off by default: a
+	// network service should not read arbitrary local files unless the
+	// deployment (e.g. a trusted cluster with a shared filesystem, the
+	// paper's setting) opts in.
+	AllowPaths bool
+	// ModelDir confines /v1/model/swap: when set, artifact paths must
+	// resolve inside this directory, so a network client can name which
+	// deployed artifact to install but cannot make the server read
+	// arbitrary files. Empty trusts the network with any path — the
+	// posture of a prolog-only cluster service behind its own perimeter.
+	ModelDir string
+	// LoadModel resolves a model-swap artifact path into a classifier.
+	// Default core.LoadFile. Tests substitute failures and fakes.
+	LoadModel func(path string) (*core.Classifier, error)
+	// Collector deduplicates feature extraction across requests. A nil
+	// value creates a private collector with default options.
+	Collector *collector.Collector
+	// Registry receives the server's metrics. A nil value creates a
+	// private registry, exposed on GET /metrics either way.
+	Registry *metrics.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	if o.MaxConcurrent == 0 {
+		o.MaxConcurrent = 8 * runtime.GOMAXPROCS(0)
+	}
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = 2 * time.Minute
+	} else if o.ReadTimeout < 0 {
+		o.ReadTimeout = 0
+	}
+	if o.LoadModel == nil {
+		o.LoadModel = core.LoadFile
+	}
+	if o.Collector == nil {
+		o.Collector = collector.New(collector.Options{})
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.NewRegistry()
+	}
+	return o
+}
+
+// Server is the HTTP front end over one serving engine.
+type Server struct {
+	engine *serve.Engine
+	opt    Options
+	mux    *http.ServeMux
+	sem    chan struct{} // nil when unlimited
+
+	ready atomic.Bool
+	// httpSrv is built in New, not Serve, so a Shutdown that races a
+	// Serve still wins: net/http remembers the shutdown and a later
+	// Serve returns ErrServerClosed instead of silently running on.
+	httpSrv  *http.Server
+	requests *metrics.CounterVec
+	latency  *metrics.HistogramVec
+	inFlight *metrics.Gauge
+	swapErrs *metrics.Counter
+}
+
+// New builds a Server over an engine. The caller keeps ownership of the
+// engine (and of Options.Collector/Registry when provided): Shutdown
+// drains HTTP traffic but closes none of them.
+func New(engine *serve.Engine, opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{engine: engine, opt: opt, mux: http.NewServeMux()}
+	if opt.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, opt.MaxConcurrent)
+	}
+	s.ready.Store(true)
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       opt.ReadTimeout,
+	}
+	s.registerMetrics()
+
+	s.mux.Handle("/v1/classify", s.instrument("/v1/classify", http.MethodPost, true, s.handleClassify))
+	s.mux.Handle("/v1/classify/batch", s.instrument("/v1/classify/batch", http.MethodPost, true, s.handleBatch))
+	s.mux.Handle("/v1/model/swap", s.instrument("/v1/model/swap", http.MethodPost, true, s.handleSwap))
+	s.mux.Handle("/healthz", s.instrument("/healthz", http.MethodGet, false, s.handleHealthz))
+	s.mux.Handle("/readyz", s.instrument("/readyz", http.MethodGet, false, s.handleReadyz))
+	s.mux.Handle("/metrics", s.instrument("/metrics", http.MethodGet, false, s.handleMetrics))
+	return s
+}
+
+// registerMetrics wires the request-level instruments and exports the
+// engine's and collector's atomic counters as scrape-time functions, so
+// observability adds no second bookkeeping path to the serving hot loop.
+func (s *Server) registerMetrics() {
+	reg := s.opt.Registry
+	s.requests = reg.CounterVec("fhc_http_requests_total",
+		"HTTP requests by route and status code.", "route", "code")
+	s.latency = reg.HistogramVec("fhc_http_request_seconds",
+		"HTTP request latency by route.", nil, "route")
+	s.inFlight = reg.Gauge("fhc_http_in_flight", "HTTP requests currently executing.")
+	s.swapErrs = reg.Counter("fhc_http_swap_failures_total",
+		"Model-swap requests that failed to load or install an artifact.")
+
+	// One engine/collector snapshot per scrape, captured by a
+	// BeforeWrite hook: every series in a single exposition then agrees
+	// with every other (hits + misses match request counts), and a
+	// scrape takes the engine's stat locks once, not once per series.
+	engine, coll := s.engine, s.opt.Collector
+	type snapshot struct {
+		eng  serve.Stats
+		coll collector.Stats
+	}
+	var snap atomic.Pointer[snapshot]
+	snap.Store(&snapshot{})
+	reg.BeforeWrite(func() {
+		snap.Store(&snapshot{eng: engine.Stats(), coll: coll.Stats()})
+	})
+	stat := func(pick func(serve.Stats) float64) func() float64 {
+		return func() float64 { return pick(snap.Load().eng) }
+	}
+	reg.CounterFunc("fhc_engine_cache_hits_total",
+		"Predictions served from the exact-hash cache.",
+		stat(func(st serve.Stats) float64 { return float64(st.Hits) }))
+	reg.CounterFunc("fhc_engine_cache_misses_total",
+		"Predictions that went through the classifier.",
+		stat(func(st serve.Stats) float64 { return float64(st.Misses) }))
+	reg.CounterFunc("fhc_engine_coalesced_total",
+		"Requests that piggybacked on an in-flight classification.",
+		stat(func(st serve.Stats) float64 { return float64(st.Coalesced) }))
+	reg.CounterFunc("fhc_engine_cache_evicted_total",
+		"Prediction-cache entries evicted across all epochs.",
+		stat(func(st serve.Stats) float64 { return float64(st.Evicted) }))
+	reg.CounterFunc("fhc_engine_swaps_total",
+		"Zero-downtime model hot-swaps installed.",
+		stat(func(st serve.Stats) float64 { return float64(st.Swaps) }))
+	reg.CounterFunc("fhc_engine_batches_total",
+		"Micro-batch windows dispatched.",
+		stat(func(st serve.Stats) float64 { return float64(st.Batches) }))
+	reg.CounterFunc("fhc_engine_batched_samples_total",
+		"Samples classified through micro-batch windows.",
+		stat(func(st serve.Stats) float64 { return float64(st.BatchedSamples) }))
+	reg.GaugeFunc("fhc_engine_batch_max",
+		"Largest micro-batch window observed.",
+		stat(func(st serve.Stats) float64 { return float64(st.MaxBatch) }))
+	reg.GaugeFunc("fhc_engine_cache_entries",
+		"Current prediction-cache population.",
+		stat(func(st serve.Stats) float64 { return float64(st.CacheEntries) }))
+	reg.GaugeFunc("fhc_engine_inflight_coalescing",
+		"Distinct new binaries being featurised right now.",
+		stat(func(st serve.Stats) float64 { return float64(st.Inflight) }))
+
+	reg.CounterFunc("fhc_collector_seen_total",
+		"Binaries submitted for collection.",
+		func() float64 { return float64(snap.Load().coll.Seen) })
+	reg.CounterFunc("fhc_collector_unique_total",
+		"Distinct binaries that paid feature extraction.",
+		func() float64 { return float64(snap.Load().coll.Unique) })
+	reg.CounterFunc("fhc_collector_cache_hits_total",
+		"Extractions skipped via the exact-hash extraction cache.",
+		func() float64 { return float64(snap.Load().coll.CacheHits) })
+}
+
+// Handler returns the routed handler; use it to mount the API in an
+// existing http.Server or a test server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown (or a listener error).
+// It blocks, like http.Server.Serve, and returns http.ErrServerClosed
+// after a clean Shutdown — including a Shutdown that completed before
+// Serve was called.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.httpSrv.Serve(ln)
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown drains the server gracefully: /readyz flips to 503 so load
+// balancers stop routing here, no new connections are accepted, and
+// in-flight requests — including classifications riding engine windows —
+// run to completion (bounded by ctx). The engine itself stays open;
+// its owner closes it after Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// ----- request/response wire types -------------------------------------
+
+// ClassifyRequest names one binary: content inline (base64) or — when
+// the server allows it — by server-local path. Exe is the submitted
+// executable name, used for per-item error reporting only.
+type ClassifyRequest struct {
+	Exe       string `json:"exe,omitempty"`
+	Path      string `json:"path,omitempty"`
+	BinaryB64 string `json:"binary_b64,omitempty"`
+}
+
+// ClassifyResponse is one prediction. Cached reports an extraction-cache
+// hit (the binary was seen before); Error is set on per-item failures in
+// batch responses.
+type ClassifyResponse struct {
+	Exe        string  `json:"exe,omitempty"`
+	Label      string  `json:"label,omitempty"`
+	Class      string  `json:"class,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	Cached     bool    `json:"cached,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// BatchRequest carries many classify requests that should share engine
+// windows.
+type BatchRequest struct {
+	Samples []ClassifyRequest `json:"samples"`
+}
+
+// BatchResponse holds one result per request, in request order.
+type BatchResponse struct {
+	Results []ClassifyResponse `json:"results"`
+}
+
+// SwapRequest names a persisted model artifact to hot-swap in.
+type SwapRequest struct {
+	Path string `json:"path"`
+}
+
+// SwapResponse acknowledges an installed swap.
+type SwapResponse struct {
+	ModelKind string `json:"model_kind"`
+	Swaps     uint64 `json:"swaps"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ----- middleware -------------------------------------------------------
+
+// instrument wraps a handler with method filtering, body limits,
+// saturation backpressure and per-route metrics.
+func (s *Server) instrument(route, method string, limited bool, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		s.inFlight.Add(1)
+		defer func() {
+			s.inFlight.Add(-1)
+			s.requests.With(route, fmt.Sprintf("%d", rec.code)).Inc()
+			s.latency.With(route).Observe(time.Since(start).Seconds())
+		}()
+
+		if r.Method != method {
+			rec.Header().Set("Allow", method)
+			writeJSON(rec, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+			return
+		}
+		if limited {
+			if s.sem != nil {
+				select {
+				case s.sem <- struct{}{}:
+					defer func() { <-s.sem }()
+				default:
+					writeJSON(rec, http.StatusTooManyRequests,
+						errorResponse{Error: "server saturated; retry with backoff"})
+					return
+				}
+			}
+			r.Body = http.MaxBytesReader(rec, r.Body, s.opt.MaxBodyBytes)
+		}
+		h(rec, r)
+	})
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeJSON reads a limited request body, mapping an exceeded body
+// limit to 413 and malformed JSON to 400. It reports whether decoding
+// succeeded; on failure the response has been written.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+		return false
+	}
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request: %v", err)})
+	return false
+}
+
+// ----- handlers ---------------------------------------------------------
+
+// resolveBinary returns the request's executable content.
+func (s *Server) resolveBinary(req *ClassifyRequest) ([]byte, error) {
+	switch {
+	case req.Path != "" && req.BinaryB64 != "":
+		return nil, errors.New("request has both path and binary_b64")
+	case req.BinaryB64 != "":
+		bin, err := base64.StdEncoding.DecodeString(req.BinaryB64)
+		if err != nil {
+			return nil, fmt.Errorf("binary_b64: %w", err)
+		}
+		return bin, nil
+	case req.Path != "":
+		if !s.opt.AllowPaths {
+			return nil, errors.New("path requests are disabled on this server (send binary_b64)")
+		}
+		bin, err := os.ReadFile(req.Path)
+		if err != nil {
+			return nil, fmt.Errorf("path: %w", err)
+		}
+		return bin, nil
+	default:
+		return nil, errors.New("request has neither path nor binary_b64")
+	}
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req ClassifyRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	bin, err := s.resolveBinary(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	sample, cached, err := s.opt.Collector.Collect(req.Exe, bin)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity,
+			errorResponse{Error: fmt.Sprintf("collect: %v", err)})
+		return
+	}
+	pred := s.engine.Classify(&sample)
+	writeJSON(w, http.StatusOK, ClassifyResponse{
+		Exe: req.Exe, Label: pred.Label, Class: pred.Class,
+		Confidence: pred.Confidence, Cached: cached,
+	})
+}
+
+// handleBatch classifies many binaries through one ClassifyAll call, so
+// a submitted burst fans into shared engine windows instead of N
+// sequential classifications. Items that fail resolution or extraction
+// keep their slot with a per-item error; order is preserved.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Samples) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "batch has no samples"})
+		return
+	}
+	resp := BatchResponse{Results: make([]ClassifyResponse, len(req.Samples))}
+	type slot struct {
+		index  int
+		cached bool
+	}
+	var (
+		good  []slot
+		batch = make([]dataset.Sample, 0, len(req.Samples))
+	)
+	for i := range req.Samples {
+		item := &req.Samples[i]
+		resp.Results[i].Exe = item.Exe
+		bin, err := s.resolveBinary(item)
+		if err != nil {
+			resp.Results[i].Error = err.Error()
+			continue
+		}
+		sample, cached, err := s.opt.Collector.Collect(item.Exe, bin)
+		if err != nil {
+			resp.Results[i].Error = fmt.Sprintf("collect: %v", err)
+			continue
+		}
+		good = append(good, slot{index: i, cached: cached})
+		batch = append(batch, sample)
+	}
+	if len(batch) > 0 {
+		preds := s.engine.ClassifyAll(batch)
+		for j, sl := range good {
+			resp.Results[sl.index] = ClassifyResponse{
+				Exe:        req.Samples[sl.index].Exe,
+				Label:      preds[j].Label,
+				Class:      preds[j].Class,
+				Confidence: preds[j].Confidence,
+				Cached:     sl.cached,
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	var req SwapRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "swap request has no path"})
+		return
+	}
+	if dir := s.opt.ModelDir; dir != "" {
+		abs, err := filepath.Abs(req.Path)
+		absDir, err2 := filepath.Abs(dir)
+		if err != nil || err2 != nil ||
+			(abs != absDir && !strings.HasPrefix(abs, absDir+string(filepath.Separator))) {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: "swap path is outside the configured model directory"})
+			return
+		}
+	}
+	next, err := s.opt.LoadModel(req.Path)
+	if err != nil {
+		// The previous model keeps serving; the caller retries with a
+		// fixed artifact.
+		s.swapErrs.Inc()
+		writeJSON(w, http.StatusUnprocessableEntity,
+			errorResponse{Error: fmt.Sprintf("load model: %v", err)})
+		return
+	}
+	s.engine.Swap(next)
+	writeJSON(w, http.StatusOK, SwapResponse{
+		ModelKind: next.ModelKind(),
+		Swaps:     s.engine.Stats().Swaps,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() || s.engine.Closed() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.opt.Registry.WritePrometheus(w)
+}

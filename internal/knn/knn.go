@@ -2,6 +2,10 @@
 // hash similarity feature matrix. The paper names KNN as a future-work
 // comparison model; the model-comparison ablation trains it on exactly the
 // features the Random Forest sees.
+//
+// Concurrency contract: a fitted Classifier is immutable; PredictProba
+// and PredictProbaBatch (parallel via internal/par) are safe from any
+// goroutine. Fit must complete before the classifier is shared.
 package knn
 
 import (

@@ -2,6 +2,10 @@
 // Hash Classifier: the paper's two-phase train/test split, stratified
 // splitting, label encoding, multi-class metrics (micro/macro/weighted
 // precision, recall, f1) and an sklearn-style classification report.
+//
+// Concurrency contract: every function is pure — inputs in, fresh values
+// out, no package state — so all of them are safe to call concurrently;
+// splits are deterministic for a given seed.
 package ml
 
 import (

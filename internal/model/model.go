@@ -8,6 +8,11 @@
 // model-agnostic. The Random Forest remains the default and its trained
 // behaviour is bit-identical to the pre-registry code: adapters delegate,
 // they never re-implement arithmetic.
+//
+// Concurrency contract: the kind registry is safe for concurrent
+// Register/New/Unmarshal/Kinds calls. A fitted Model is immutable —
+// PredictProba/PredictProbaBatch and MarshalJSON may run concurrently
+// from any goroutine; Fit must complete before the model is shared.
 package model
 
 import (

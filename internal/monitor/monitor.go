@@ -10,6 +10,11 @@
 //     normally executed for the purpose of a particular allocation?
 //  3. Is an application similar to a (known) set of applications that
 //     should not be executed on the HPC system?
+//
+// Concurrency contract: a Monitor is safe for concurrent Observe and
+// ObserveAll calls — per-user history updates are serialised internally,
+// and classification concurrency is delegated to the labeler (hand the
+// serving engine to New for cached, micro-batched labelling).
 package monitor
 
 import (

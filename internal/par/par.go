@@ -2,6 +2,11 @@
 // featurisation layers share: a bounded index-parallel map. It exists so
 // the rf, knn and svm batch predictors (and batch featurisation) are one
 // implementation, not drifting copies of the same worker-pool loop.
+//
+// Concurrency contract: Map blocks until every fn(i) returns, happens-
+// before included — writes made by the workers are visible to the caller
+// afterwards. Nesting Map inside fn is safe but multiplies goroutines;
+// size worker counts at one level only.
 package par
 
 import (

@@ -5,6 +5,11 @@
 // capabilities the paper uses from scikit-learn's RandomForestClassifier,
 // including the two properties it selects the model for (non-linearity
 // and feature-importance scores).
+//
+// Concurrency contract: a fitted Forest is immutable — PredictProba,
+// PredictProbaBatch (which parallelises via internal/par) and
+// FeatureImportance are safe from any goroutine. Fit is deterministic
+// for a given seed and must complete before the forest is shared.
 package rf
 
 import (

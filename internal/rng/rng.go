@@ -9,6 +9,12 @@
 // independent child streams can be derived cheaply from string labels,
 // which keeps every experiment bit-for-bit reproducible from a single
 // top-level seed.
+//
+// Concurrency contract: a *Source is NOT safe for concurrent use — it is
+// a tiny mutable state machine. Parallel workers must each derive their
+// own child stream (Child with a distinct label or index) rather than
+// share one source; that is also what keeps parallel runs deterministic
+// regardless of scheduling.
 package rng
 
 import "math"

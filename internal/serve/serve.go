@@ -25,6 +25,13 @@
 // a prediction cached under the old model can never answer a request
 // issued after the swap, and every request is answered entirely by one
 // model — never a featurise-here, threshold-there blend.
+//
+// Concurrency contract: every Engine method — Classify, ClassifyAll,
+// Swap, Stats, Close — is safe to call from any number of goroutines
+// simultaneously; Close is idempotent, and Classify after Close degrades
+// to direct unbatched classification rather than failing. The Backend
+// handed to New/Swap must itself tolerate concurrent PredictProbaBatch
+// calls (up to Options.Workers windows execute at once).
 package serve
 
 import (
@@ -108,6 +115,9 @@ type Stats struct {
 	Batches, BatchedSamples, MaxBatch uint64
 	// CacheEntries is the current epoch's prediction-cache population.
 	CacheEntries int
+	// Inflight is the current epoch's count of coalescing entries:
+	// distinct new binaries being featurised right now.
+	Inflight int
 }
 
 // request is one enqueued classification.
@@ -419,10 +429,24 @@ func (e *Engine) Stats() Stats {
 		BatchedSamples: e.batchedSamples.Load(),
 		MaxBatch:       e.maxB.Load(),
 	}
-	if cache := e.state.Load().cache; cache != nil {
-		st.CacheEntries = cache.Len()
+	ep := e.state.Load()
+	if ep.cache != nil {
+		st.CacheEntries = ep.cache.Len()
 	}
+	ep.inflightMu.Lock()
+	st.Inflight = len(ep.inflight)
+	ep.inflightMu.Unlock()
 	return st
+}
+
+// Closed reports whether Close has completed. A closed engine still
+// answers Classify (degraded to direct classification), so Closed is a
+// readiness signal, not a liveness one — the HTTP layer's /readyz uses
+// it to stop advertising the batching path during shutdown.
+func (e *Engine) Closed() bool {
+	e.sendMu.RLock()
+	defer e.sendMu.RUnlock()
+	return e.closed
 }
 
 // Close drains pending requests and stops the batcher. It is idempotent

@@ -3,6 +3,11 @@
 // loss (Pegasos-style). The paper names SVMs as a future-work comparison
 // model; the model-comparison ablation trains it on the same fuzzy-hash
 // similarity features as the Random Forest.
+//
+// Concurrency contract: a fitted Classifier is immutable; PredictProba
+// and PredictProbaBatch (parallel via internal/par) are safe from any
+// goroutine. Fit is deterministic for a given seed and must complete
+// before the classifier is shared.
 package svm
 
 import (

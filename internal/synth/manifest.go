@@ -11,6 +11,11 @@
 // how the paper's labelling artefacts (CellRanger vs Cell-Ranger,
 // Augustus vs AUGUSTUS: one application installed under two paths) are
 // reproduced.
+//
+// Concurrency contract: Generate is deterministic for a given seed and
+// runs in the calling goroutine; the returned Corpus is immutable
+// afterwards and safe to read concurrently (parallel feature extraction
+// over corpus samples relies on that).
 package synth
 
 // ClassSpec declares one application class to generate.

@@ -1,0 +1,202 @@
+// Command docscheck is the repository's documentation gate, run by the
+// CI docs job with no external action dependencies. It performs two
+// checks, selected by argument type:
+//
+//   - a markdown file argument has its local links validated: every
+//     [text](target) whose target is not an external URL must resolve to
+//     an existing file or directory (relative to the markdown file), and
+//     same-file #fragments must match a heading's GitHub-style anchor;
+//   - a directory argument is walked for Go packages, each of which must
+//     carry a non-trivial package comment (the godoc contract this
+//     repository holds every internal package to).
+//
+// Exit status is non-zero when any check fails; every failure is
+// reported, not just the first.
+//
+// Concurrency contract: single-goroutine; run is a pure function of the
+// filesystem.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck FILE.md|DIR ...")
+		os.Exit(2)
+	}
+	if n := run(os.Args[1:], os.Stderr); n > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// run checks every argument and returns the number of problems found.
+func run(args []string, out io.Writer) int {
+	problems := 0
+	for _, arg := range args {
+		st, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(out, "%s: %v\n", arg, err)
+			problems++
+			continue
+		}
+		if st.IsDir() {
+			problems += checkPackageDocs(arg, out)
+		} else {
+			problems += checkMarkdown(arg, out)
+		}
+	}
+	return problems
+}
+
+// mdLink matches [text](target) including image links; the target is
+// captured without an optional trailing title.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkMarkdown validates every local link in one markdown file.
+func checkMarkdown(path string, out io.Writer) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(out, "%s: %v\n", path, err)
+		return 1
+	}
+	content := stripCodeBlocks(string(raw))
+	problems := 0
+	for _, m := range mdLink.FindAllStringSubmatch(content, -1) {
+		target := m[1]
+		switch {
+		case strings.HasPrefix(target, "http://"),
+			strings.HasPrefix(target, "https://"),
+			strings.HasPrefix(target, "mailto:"):
+			continue // external: not checked, no network in CI
+		case strings.HasPrefix(target, "#"):
+			if !anchorExists(content, target[1:]) {
+				fmt.Fprintf(out, "%s: broken anchor %s\n", path, target)
+				problems++
+			}
+			continue
+		}
+		file := target
+		if i := strings.IndexByte(file, '#'); i >= 0 {
+			file = file[:i]
+		}
+		resolved := filepath.Join(filepath.Dir(path), file)
+		if _, err := os.Stat(resolved); err != nil {
+			fmt.Fprintf(out, "%s: broken link %s (%s)\n", path, target, resolved)
+			problems++
+		}
+	}
+	return problems
+}
+
+// stripCodeBlocks blanks fenced code blocks so example snippets (shell
+// command substitutions, JSON) are not mistaken for links.
+func stripCodeBlocks(s string) string {
+	var b strings.Builder
+	inFence := false
+	for _, line := range strings.SplitAfter(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			b.WriteString("\n")
+			continue
+		}
+		if inFence {
+			b.WriteString("\n")
+			continue
+		}
+		b.WriteString(line)
+	}
+	return b.String()
+}
+
+// anchorExists reports whether a heading in content slugs to anchor the
+// way GitHub renders it: lowercased, spaces to hyphens, punctuation
+// dropped.
+func anchorExists(content, anchor string) bool {
+	for _, line := range strings.Split(content, "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(line, "#")
+		if slugify(heading) == anchor {
+			return true
+		}
+	}
+	return false
+}
+
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// minPackageComment is the threshold below which a package comment is
+// considered trivial — a bare "Package x does things." does not state a
+// role and a concurrency contract.
+const minPackageComment = 120
+
+// checkPackageDocs walks root for Go packages and requires each to have
+// a substantial package comment on at least one file.
+func checkPackageDocs(root string, out io.Writer) int {
+	dirs := map[string]bool{}
+	problems := 0
+	if err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	}); err != nil {
+		// A failed walk means unchecked packages; that is a problem, not
+		// a vacuous pass.
+		fmt.Fprintf(out, "%s: walk: %v\n", root, err)
+		problems++
+	}
+	for dir := range dirs {
+		best := 0
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			fmt.Fprintf(out, "%s: %v\n", dir, err)
+			problems++
+			continue
+		}
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				if f.Doc != nil {
+					if n := len(f.Doc.Text()); n > best {
+						best = n
+					}
+				}
+			}
+		}
+		if best < minPackageComment {
+			fmt.Fprintf(out, "%s: package comment missing or trivial (%d chars, want >= %d)\n",
+				dir, best, minPackageComment)
+			problems++
+		}
+	}
+	return problems
+}

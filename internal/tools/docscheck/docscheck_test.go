@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMarkdownLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "exists.md", "# Target\n")
+	write(t, dir, "sub/deep.go", "package deep\n")
+	good := write(t, dir, "good.md", strings.Join([]string{
+		"# Title",
+		"## A Section Here",
+		"[ok file](exists.md)",
+		"[ok dir](sub)",
+		"[ok fragment](exists.md#target)",
+		"[ok anchor](#a-section-here)",
+		"[external](https://example.com/nope)",
+		"```sh",
+		"echo [not a link](missing-in-fence.md)",
+		"```",
+	}, "\n"))
+	var out strings.Builder
+	if n := run([]string{good}, &out); n != 0 {
+		t.Fatalf("clean file reported %d problems:\n%s", n, out.String())
+	}
+
+	bad := write(t, dir, "bad.md", strings.Join([]string{
+		"# Title",
+		"[broken](no-such-file.md)",
+		"[broken anchor](#missing-section)",
+	}, "\n"))
+	out.Reset()
+	if n := run([]string{bad}, &out); n != 2 {
+		t.Fatalf("broken file reported %d problems, want 2:\n%s", n, out.String())
+	}
+	for _, want := range []string{"no-such-file.md", "#missing-section"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestPackageDocs(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "documented/doc.go",
+		"// Package documented has a real package comment long enough to state\n"+
+			"// its role in the system and the concurrency contract its callers\n"+
+			"// can rely on, which is what the repository requires.\n"+
+			"package documented\n")
+	write(t, dir, "bare/bare.go", "package bare\n")
+	write(t, dir, "thin/thin.go", "// Package thin is thin.\npackage thin\n")
+
+	var out strings.Builder
+	n := run([]string{dir}, &out)
+	if n != 2 {
+		t.Fatalf("reported %d problems, want 2:\n%s", n, out.String())
+	}
+	for _, want := range []string{"bare", "thin"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing package %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "documented") {
+		t.Errorf("documented package flagged:\n%s", out.String())
+	}
+}
+
+// TestRepositoryDocsAreClean runs the real gate over the real tree, so
+// `go test` fails the moment a package comment regresses or a README
+// link breaks — the review hook the docs pass promises.
+func TestRepositoryDocsAreClean(t *testing.T) {
+	root := "../../.."
+	args := []string{
+		filepath.Join(root, "README.md"),
+		filepath.Join(root, "ARCHITECTURE.md"),
+		filepath.Join(root, "examples", "README.md"),
+		filepath.Join(root, "internal"),
+		filepath.Join(root, "ssdeep"),
+	}
+	var out strings.Builder
+	if n := run(args, &out); n != 0 {
+		t.Fatalf("repository docs have %d problems:\n%s", n, out.String())
+	}
+}
