@@ -16,13 +16,18 @@
 //	fhc classify -model FILE BINARY...
 //	fhc report   -corpus DIR -model FILE [-format text|csv|md]
 //	fhc dups     [-min SCORE] [-feature NAME] [-within] DIR
-//	fhc serve    -model FILE [-policy FILE] [-input FILE|none] [-http ADDR] [-batch N] [-latency D] [-cache N] [-stats]
+//	fhc serve    -model FILE [-policy FILE] [-input FILE|none] [-http ADDR] [-batch N] [-latency D] [-cache N] [-stats] [-retrain ...]
 //
 // serve accepts {"reload":"FILE"} control lines that hot-swap a
 // retrained model into the running engine with zero downtime, and with
 // -http ADDR additionally exposes the engine over HTTP: classify,
-// batch-classify, model-swap, health and Prometheus metrics endpoints
-// (see internal/httpserve).
+// batch-classify, model-swap, retrain, health and Prometheus metrics
+// endpoints (see internal/httpserve). With -retrain the service learns
+// continuously: confident predictions are harvested into a bounded
+// training store, background cycles retrain on the -retrain-every /
+// -retrain-interval trigger policy, and candidates that pass the
+// holdout gate are hot-swapped in automatically (see internal/retrain
+// and OPERATIONS.md).
 package main
 
 import (

@@ -574,3 +574,143 @@ func TestCommandsRegistered(t *testing.T) {
 		}
 	}
 }
+
+// TestCmdServeRetrain drives the continuous-learning deployment the
+// OPERATIONS.md runbook documents: HTTP serving with -retrain, harvest
+// via classify traffic, a waited /v1/retrain kick, the promotion
+// visible in /metrics and the artifact directory, and the training
+// store persisted across shutdown.
+func TestCmdServeRetrain(t *testing.T) {
+	dir, _ := makeTree(t)
+	model := filepath.Join(t.TempDir(), "model.json")
+	if _, err := withStdout(t, func() error {
+		return cmdTrain([]string{"-corpus", dir, "-model", model, "-threshold", "0.3", "-trees", "40"})
+	}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+
+	// Every binary of the install tree, for harvest traffic.
+	var binaries []string
+	if err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && info.Mode().IsRegular() {
+			binaries = append(binaries, path)
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(binaries) < 8 {
+		t.Fatalf("tree has %d binaries, need 8", len(binaries))
+	}
+
+	store := filepath.Join(t.TempDir(), "store.jsonl")
+	artifacts := filepath.Join(t.TempDir(), "artifacts")
+
+	bound := make(chan string, 1)
+	var shutdown func()
+	var shutdownMu sync.Mutex
+	serveHTTPBound = func(addr string, stop func()) {
+		shutdownMu.Lock()
+		shutdown = stop
+		shutdownMu.Unlock()
+		bound <- addr
+	}
+	defer func() { serveHTTPBound = nil }()
+
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- cmdServe([]string{
+			"-model", model, "-input", "none", "-http", "127.0.0.1:0", "-http-paths",
+			"-retrain", "-retrain-every", "-1", "-retrain-confidence", "0.5",
+			"-retrain-margin", "0.25", "-retrain-store", store,
+			"-retrain-artifacts", artifacts,
+		})
+	}()
+	var base string
+	select {
+	case addr := <-bound:
+		base = "http://" + addr
+	case err := <-serveDone:
+		t.Fatalf("serve exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("HTTP listener never bound")
+	}
+
+	post := func(path, body string) (int, string) {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(raw)
+	}
+
+	// Harvest: classify every tree binary by path.
+	for _, bin := range binaries {
+		if code, raw := post("/v1/classify", `{"exe":"job","path":"`+bin+`"}`); code != http.StatusOK {
+			t.Fatalf("classify %s: %d %s", bin, code, raw)
+		}
+	}
+	sresp, err := http.Get(base + "/v1/retrain/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sraw, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if !strings.Contains(string(sraw), `"harvested":`) {
+		t.Fatalf("status: %s", sraw)
+	}
+
+	// A waited kick retrains, gates and promotes synchronously.
+	code, raw := post("/v1/retrain", `{"wait":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("retrain: %d %s", code, raw)
+	}
+	if !strings.Contains(raw, `"promoted":true`) || !strings.Contains(raw, `"trigger":"http"`) {
+		t.Fatalf("retrain result: %s", raw)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"fhc_retrain_runs_total 1",
+		"fhc_retrain_promotions_total 1",
+		"fhc_engine_swaps_total 1",
+	} {
+		if !strings.Contains(string(mraw), want) {
+			t.Fatalf("metrics exposition missing %q:\n%.600s", want, mraw)
+		}
+	}
+
+	kept, err := filepath.Glob(filepath.Join(artifacts, "model-*.json"))
+	if err != nil || len(kept) != 1 {
+		t.Fatalf("artifacts = %v (%v), want one", kept, err)
+	}
+	if _, err := os.Stat(filepath.Join(artifacts, "latest")); err != nil {
+		t.Fatalf("latest pointer: %v", err)
+	}
+
+	shutdownMu.Lock()
+	stop := shutdown
+	shutdownMu.Unlock()
+	stop()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve did not shut down cleanly: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("serve did not exit after shutdown")
+	}
+
+	// The harvested corpus survived the restart boundary.
+	st, err := os.Stat(store)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("training store not persisted: %v", err)
+	}
+}

@@ -30,6 +30,14 @@ package main
 // extraction cache. `-input none -http :8080` serves HTTP only and runs
 // until SIGINT/SIGTERM; with a finite -input the process drains the
 // HTTP listener gracefully once the stream ends.
+//
+// With -retrain the service learns continuously (internal/retrain):
+// confident predictions on either surface are harvested into a bounded
+// class-balanced training store, a background cycle retrains on the
+// configured trigger policy, and a candidate that meets-or-beats the
+// incumbent's holdout macro-F1 is hot-swapped in with zero downtime and
+// persisted under -retrain-artifacts. See OPERATIONS.md for the
+// runbook.
 
 import (
 	"bufio"
@@ -52,7 +60,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/httpserve"
+	"repro/internal/metrics"
 	"repro/internal/monitor"
+	"repro/internal/retrain"
 	"repro/internal/serve"
 )
 
@@ -120,6 +130,17 @@ func cmdServe(args []string) error {
 	cacheSize := fs.Int("cache", 0, "prediction-cache entries (0 = default, negative disables)")
 	chunk := fs.Int("chunk", 256, "events observed per window; bounds memory and goroutines")
 	stats := fs.Bool("stats", false, "print engine and collector statistics to stderr at EOF")
+	retrainOn := fs.Bool("retrain", false, "enable continuous learning: harvest labels, retrain in the background, auto-swap gated candidates")
+	retrainEvery := fs.Int("retrain-every", 256, "retrain after this many newly harvested samples (negative disables the sample trigger)")
+	retrainInterval := fs.Duration("retrain-interval", 0, "retrain on this wall-clock interval (0 disables)")
+	retrainStore := fs.String("retrain-store", "", "training-store JSON-lines file, persisted across restarts (empty: memory only)")
+	retrainCap := fs.Int("retrain-cap", 4096, "training-store sample cap; class-balanced eviction beyond it")
+	retrainHoldout := fs.Float64("retrain-holdout", 0.2, "per-class fraction frozen as the promotion-gate holdout")
+	retrainMargin := fs.Float64("retrain-margin", 0, "candidate macro-F1 may trail the incumbent by at most this and still promote")
+	retrainConf := fs.Float64("retrain-confidence", 0.95, "minimum confidence for harvesting a self-labelled prediction")
+	retrainArtifacts := fs.String("retrain-artifacts", "", "directory for promoted artifacts (model-TIMESTAMP.json + latest pointer)")
+	retrainKeep := fs.Int("retrain-keep", 5, "promoted artifacts retained for rollback")
+	retrainSeed := fs.Uint64("retrain-seed", 1, "training seed for retrained candidates")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -171,6 +192,38 @@ func cmdServe(args []string) error {
 	mon := monitor.New(engine, policy)
 	coll := collector.New(collector.Options{})
 
+	// Continuous learning: the retrainer harvests off the monitor's
+	// observation stream (both surfaces classify through this engine)
+	// and shares the HTTP layer's metrics registry so /metrics exposes
+	// the fhc_retrain_* series.
+	var rt *retrain.Retrainer
+	reg := metrics.NewRegistry()
+	if *retrainOn {
+		rt, err = retrain.New(engine, clf, retrain.Options{
+			Store:           retrain.StoreOptions{Cap: *retrainCap, Path: *retrainStore},
+			MinNewSamples:   *retrainEvery,
+			Interval:        *retrainInterval,
+			HoldoutFraction: *retrainHoldout,
+			Margin:          *retrainMargin,
+			MinConfidence:   *retrainConf,
+			ArtifactDir:     *retrainArtifacts,
+			KeepArtifacts:   *retrainKeep,
+			Train:           core.Config{Model: clf.ModelKind(), Seed: *retrainSeed},
+			Registry:        reg,
+		})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := rt.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "fhc serve: retrain close: %v\n", err)
+			}
+		}()
+		mon.SetObserver(func(e monitor.Event, pred core.Prediction, _ []monitor.Finding) {
+			rt.ObservePrediction(&e.Sample, pred)
+		})
+	}
+
 	// The HTTP front end shares the stream loop's engine and extraction
 	// cache: a binary seen on either surface is extracted once.
 	var hs *httpserve.Server
@@ -187,6 +240,8 @@ func cmdServe(args []string) error {
 			AllowPaths: *httpPaths,
 			ModelDir:   *httpModels,
 			Collector:  coll,
+			Retrainer:  rt,
+			Registry:   reg,
 		})
 		httpErr = make(chan error, 1)
 		go func() { httpErr <- hs.Serve(ln) }()
@@ -293,7 +348,12 @@ func cmdServe(args []string) error {
 					// The previous model keeps serving; the stream continues.
 					res.Error = fmt.Sprintf("line %d: %v", lineNo, err)
 				} else {
-					engine.Swap(next)
+					if rt != nil {
+						// Swap and gate-baseline reset, atomically.
+						rt.InstallIncumbent(next)
+					} else {
+						engine.Swap(next)
+					}
 					res.ModelKind = next.ModelKind()
 				}
 				results = append(results, res)
@@ -374,6 +434,12 @@ func cmdServe(args []string) error {
 			es.Hits, es.Misses, es.Coalesced, es.Evicted, es.Swaps, es.Batches, es.BatchedSamples, es.MaxBatch, es.CacheEntries)
 		fmt.Fprintf(os.Stderr, "collector: %d seen, %d unique, %d cache hits, %d evicted\n",
 			cs.Seen, cs.Unique, cs.CacheHits, cs.Evicted)
+		if rt != nil {
+			rs := rt.Stats()
+			fmt.Fprintf(os.Stderr,
+				"retrain: %d runs (%d promoted, %d rejected, %d failed), %d harvested, store %d samples over %d classes\n",
+				rs.Runs, rs.Promotions, rs.Rejections, rs.Failures, rs.Harvested, rs.StoreSize, len(rs.StorePerClass))
+		}
 	}
 	return nil
 }

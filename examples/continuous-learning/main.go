@@ -1,0 +1,206 @@
+// Continuous learning: the serving system retrains itself from the
+// traffic it serves.
+//
+// The paper classifies a live cluster where new applications keep
+// appearing, so a static model decays; the Execution Fingerprint
+// Dictionary line of work argues the recognition corpus must grow
+// incrementally as executions are observed. examples/model-swap showed
+// the mechanism (zero-downtime Engine.Swap); this example closes the
+// loop with fhc.NewRetrainer so nobody has to run `fhc train` by hand:
+//
+//  1. a site model serves three application classes; a fourth appears
+//     and is deflected to "-1" unknown;
+//  2. confident predictions self-label into the bounded, class-balanced
+//     training store; the unknown newcomer enters as operator-confirmed
+//     ground truth (the dictionary growing by observation);
+//  3. crossing the new-sample trigger starts a background cycle:
+//     candidate training through the model registry, then the promotion
+//     gate — the candidate must meet-or-beat the incumbent's macro-F1
+//     on a frozen holdout;
+//  4. the candidate passes and is hot-swapped in while a concurrent
+//     flood keeps classifying (no dropped requests); the newcomer is
+//     now recognised, and the promoted artifact sits in the rollback
+//     directory beside a "latest" pointer;
+//  5. a deliberately degraded candidate is then rejected by the same
+//     gate, and a differential pass proves the incumbent's predictions
+//     are bit-identical before and after the rejected cycle.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	fhc "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("continuous-learning: ")
+
+	// --- A site model that does not know the newcomer -------------------
+	specs := []fhc.ClassSpec{
+		{Name: "GROMACS-like", Samples: 12},
+		{Name: "OpenFOAM-like", Samples: 12},
+		{Name: "BLAST-like", Samples: 12},
+		{Name: "CryoEM-like", Samples: 10}, // appears after deployment
+	}
+	corpus, err := fhc.GenerateCorpus(specs, fhc.CorpusOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples, err := fhc.SamplesFromCorpus(corpus, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var known, newcomer []fhc.Sample
+	for i := range samples {
+		if samples[i].Class == "CryoEM-like" {
+			newcomer = append(newcomer, samples[i])
+		} else {
+			known = append(known, samples[i])
+		}
+	}
+	clfV1, err := fhc.Train(known, fhc.Config{Threshold: 0.5, Seed: 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := fhc.NewEngine(clfV1, fhc.EngineOptions{})
+	defer engine.Close()
+
+	// --- The continuous-learning loop -----------------------------------
+	// The store caps and balances itself; the trigger fires once every
+	// known-class sample and every operator label has been harvested;
+	// promoted artifacts land in a rollback directory.
+	artifacts, err := os.MkdirTemp("", "fhc-artifacts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(artifacts)
+	rt, err := fhc.NewRetrainer(engine, clfV1, fhc.RetrainOptions{
+		Store:         fhc.RetrainStoreOptions{Cap: 256},
+		MinNewSamples: len(samples),
+		MinConfidence: 0.5,
+		Margin:        0.05,
+		ArtifactDir:   artifacts,
+		KeepArtifacts: 3,
+		Train:         fhc.Config{Threshold: 0.5, Seed: 17},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	// --- Harvest off served traffic --------------------------------------
+	// Known classes self-label behind the confidence gate; the newcomer
+	// is deflected to "-1" (never self-labelled — the model must not
+	// learn from guesses) until an operator confirms what it is.
+	unknownSeen := 0
+	for i := range known {
+		s := known[i]
+		rt.ObservePrediction(&s, engine.Classify(&s))
+	}
+	for i := range newcomer {
+		s := newcomer[i]
+		if engine.Classify(&s).Label == fhc.UnknownLabel {
+			unknownSeen++
+		}
+		rt.HarvestLabeled(&s, "CryoEM-like") // operator-confirmed
+	}
+	st := rt.Stats()
+	fmt.Printf("harvested %d samples over %d classes (%d newcomer submissions were %q)\n",
+		st.StoreSize, len(st.StorePerClass), unknownSeen, fhc.UnknownLabel)
+
+	// --- The background cycle promotes while traffic flows ---------------
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i = (i + 1) % len(known) {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := known[i]
+			engine.Classify(&s) // load riding across the promotion
+		}
+	}()
+	for rt.Stats().Promotions == 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	res := rt.Stats().Last
+	fmt.Printf("cycle 1 (%s trigger): %s\n", res.Trigger, res.Reason)
+	fmt.Printf("  per-class delta (candidate - incumbent): %v\n", res.PerClassDelta)
+	recognised := 0
+	for i := range newcomer {
+		s := newcomer[i]
+		if engine.Classify(&s).Label == "CryoEM-like" {
+			recognised++
+		}
+	}
+	fmt.Printf("after promotion: %d/%d newcomer submissions recognised, %d engine swap(s)\n",
+		recognised, len(newcomer), engine.Stats().Swaps)
+	if recognised == 0 {
+		log.Fatal("promotion did not take effect")
+	}
+	pointer, err := os.ReadFile(filepath.Join(artifacts, "latest"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rollback set: latest -> %s", pointer)
+
+	// --- A degraded candidate is rejected, bit-identically ---------------
+	// A second deployment whose next "retrained" candidate is
+	// deliberately useless (it deflects everything to unknown): the
+	// gate must reject it, and the incumbent's answers must be
+	// bit-identical before and after the rejected cycle.
+	fullClf, err := fhc.Train(samples, fhc.Config{Threshold: 0.5, Seed: 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+	degraded, err := fhc.Train(samples, fhc.Config{Threshold: 0.5, Seed: 17})
+	if err != nil {
+		log.Fatal(err)
+	}
+	degraded.SetThreshold(1.5) // no confidence can reach it
+	engine2 := fhc.NewEngine(fullClf, fhc.EngineOptions{})
+	defer engine2.Close()
+	rt2, err := fhc.NewRetrainer(engine2, fullClf, fhc.RetrainOptions{
+		MinNewSamples: -1, // explicit cycles only
+		TrainFunc: func([]fhc.Sample, fhc.Config) (*fhc.Classifier, error) {
+			return degraded, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt2.Close()
+	for i := range samples {
+		rt2.HarvestLabeled(&samples[i], samples[i].Class)
+	}
+	before := make([]fhc.Prediction, len(samples))
+	for i := range samples {
+		before[i] = engine2.Classify(&samples[i])
+	}
+	verdict := rt2.RunNow("kick")
+	fmt.Printf("cycle 2: %s\n", verdict.Reason)
+	mismatches := 0
+	for i := range samples {
+		if engine2.Classify(&samples[i]) != before[i] {
+			mismatches++
+		}
+	}
+	fmt.Printf("after rejection: %d mismatches across %d samples, %d swap(s) on this engine\n",
+		mismatches, len(samples), engine2.Stats().Swaps)
+	if verdict.Promoted || mismatches > 0 || engine2.Stats().Swaps != 0 {
+		log.Fatal("rejection must leave the incumbent serving bit-identically")
+	}
+}

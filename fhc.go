@@ -36,6 +36,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/model"
 	"repro/internal/monitor"
+	"repro/internal/retrain"
 	"repro/internal/rf"
 	"repro/internal/serve"
 	"repro/internal/svm"
@@ -141,6 +142,34 @@ type (
 	// registry the HTTP layer exposes on GET /metrics; pass one via
 	// HTTPServerOptions.Registry to add application series.
 	MetricsRegistry = metrics.Registry
+	// Retrainer is the continuous-learning subsystem: it harvests
+	// labelled windows into a bounded class-balanced training store,
+	// retrains in the background on a trigger policy, and promotes
+	// candidates that pass the holdout gate through Engine.Swap with
+	// zero downtime (see internal/retrain and OPERATIONS.md).
+	Retrainer = retrain.Retrainer
+	// RetrainOptions configures a Retrainer: store bounds and
+	// persistence, trigger policy, harvest confidence gate, holdout
+	// fraction, promotion margin, artifact retention and the candidate
+	// training configuration.
+	RetrainOptions = retrain.Options
+	// RetrainStoreOptions bounds and persists the labelled training
+	// store (RetrainOptions.Store).
+	RetrainStoreOptions = retrain.StoreOptions
+	// RetrainStats is a snapshot of retrainer activity: run/promotion/
+	// rejection counters, harvest totals, store population and the last
+	// cycle's result.
+	RetrainStats = retrain.Stats
+	// RetrainResult describes one retraining cycle: the trigger, the
+	// frozen split, both holdout macro-F1 scores, per-class deltas and
+	// the promotion verdict.
+	RetrainResult = retrain.Result
+	// HTTPRetrainRequest kicks a continuous-learning cycle over POST
+	// /v1/retrain; set Wait to block for the cycle's result.
+	HTTPRetrainRequest = httpserve.RetrainRequest
+	// HTTPRetrainResponse acknowledges a triggered cycle and, for
+	// waited requests, carries its result.
+	HTTPRetrainResponse = httpserve.RetrainResponse
 )
 
 // UnknownLabel is the class label of samples that resemble no known
@@ -237,6 +266,22 @@ func NewHTTPServer(engine *Engine, opt HTTPServerOptions) *HTTPServer {
 // exposition between the HTTP layer and application series.
 func NewMetricsRegistry() *MetricsRegistry {
 	return metrics.NewRegistry()
+}
+
+// NewRetrainer starts the continuous-learning loop over a serving
+// engine and the classifier it currently serves: labelled windows are
+// harvested into a bounded class-balanced store (confident predictions
+// via Retrainer.ObservePrediction, operator ground truth via
+// Retrainer.HarvestLabeled), background cycles retrain on the
+// configured trigger policy, and a candidate that meets-or-beats the
+// incumbent's holdout macro-F1 within the margin is promoted through
+// Engine.Swap with zero downtime — a rejected candidate leaves the
+// incumbent serving bit-identically. Wire the same Retrainer into
+// HTTPServerOptions.Retrainer to expose POST /v1/retrain and GET
+// /v1/retrain/status, and Close it when done (the store persists on
+// Close). See examples/continuous-learning and OPERATIONS.md.
+func NewRetrainer(engine *Engine, incumbent *Classifier, opt RetrainOptions) (*Retrainer, error) {
+	return retrain.New(engine, incumbent, opt)
 }
 
 // Train fits a Fuzzy Hash Classifier on labelled training samples. With a

@@ -156,3 +156,74 @@ func TestSampleFromBinaryRejectsJunk(t *testing.T) {
 		t.Fatal("junk accepted")
 	}
 }
+
+// TestPublicAPIContinuousLearning drives the continuous-learning loop
+// through the public facade: an engine serving a model that does not
+// know one class, harvesting of confident predictions and operator
+// labels, a synchronous cycle, and the gated zero-downtime promotion.
+func TestPublicAPIContinuousLearning(t *testing.T) {
+	samples := buildDemoSamples(t)
+	var known []Sample
+	for _, s := range samples {
+		if s.Class != "ChemKit" && s.Class != "Miner" {
+			known = append(known, s)
+		}
+	}
+	clf, err := Train(known, Config{Seed: 1, Threshold: 0.5})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	engine := NewEngine(clf, EngineOptions{})
+	defer engine.Close()
+
+	rt, err := NewRetrainer(engine, clf, RetrainOptions{
+		Store:         RetrainStoreOptions{Cap: len(samples)},
+		MinNewSamples: -1, // explicit cycles only
+		MinConfidence: 0.5,
+		Margin:        0.05,
+		Train:         Config{Seed: 1, Threshold: 0.5},
+	})
+	if err != nil {
+		t.Fatalf("NewRetrainer: %v", err)
+	}
+	defer rt.Close()
+
+	for i := range samples {
+		s := samples[i]
+		if s.Class == "ChemKit" {
+			rt.HarvestLabeled(&s, s.Class) // operator-confirmed ground truth
+			continue
+		}
+		if s.Class == "Miner" {
+			continue // stays foreign: nobody labels it
+		}
+		rt.ObservePrediction(&s, engine.Classify(&s))
+	}
+
+	res := rt.RunNow("kick")
+	if res.Err != "" || !res.Promoted {
+		t.Fatalf("cycle did not promote: %+v", res)
+	}
+	if engine.Stats().Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1", engine.Stats().Swaps)
+	}
+	correct := 0
+	total := 0
+	for i := range samples {
+		if samples[i].Class != "ChemKit" {
+			continue
+		}
+		total++
+		s := samples[i]
+		if engine.Classify(&s).Label == "ChemKit" {
+			correct++
+		}
+	}
+	if correct*2 < total {
+		t.Fatalf("promoted model recognises %d/%d ChemKit samples", correct, total)
+	}
+	st := rt.Stats()
+	if st.Promotions != 1 || st.Last == nil {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -118,3 +118,13 @@ func (c *Collector) Stats() Stats {
 func (c *Collector) Known(bin []byte) bool {
 	return c.cache.Contains(serve.KeyOf(bin))
 }
+
+// Range calls fn for every currently cached sample, without refreshing
+// recency. The iteration is a per-shard snapshot: samples collected or
+// evicted while Range runs may or may not be visited, and fn may safely
+// call back into the collector. The continuous-learning layer uses it to
+// warm its training store from binaries the collector has already seen.
+// fn must not mutate the sample; copy it first.
+func (c *Collector) Range(fn func(s *dataset.Sample)) {
+	c.cache.Range(func(_ serve.Key, s *dataset.Sample) { fn(s) })
+}

@@ -1,9 +1,11 @@
 package collector
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
+	"repro/internal/dataset"
 	"repro/internal/synth"
 )
 
@@ -135,5 +137,26 @@ func TestKnown(t *testing.T) {
 	}
 	if !c.Known(bins[0]) {
 		t.Fatal("collected binary not known")
+	}
+}
+
+func TestRangeSnapshotsCachedSamples(t *testing.T) {
+	bins := binaries(t, 3)
+	c := New(Options{})
+	for i, bin := range bins {
+		if _, _, err := c.Collect(fmt.Sprintf("exe-%d", i), bin); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	c.Range(func(s *dataset.Sample) {
+		seen[s.Exe] = true
+		// Calling back into the collector must not deadlock.
+		if !c.Known(bins[0]) {
+			t.Error("Known failed inside Range")
+		}
+	})
+	if len(seen) != 3 {
+		t.Fatalf("Range visited %d samples, want 3: %v", len(seen), seen)
 	}
 }

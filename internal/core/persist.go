@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/dataset"
 	"repro/internal/model"
@@ -84,6 +85,35 @@ func (c *Classifier) Save(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(&dto); err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes a classifier artifact atomically: the JSON is written
+// to a temporary file in the destination directory and renamed into
+// place, so a crash mid-write can never leave a truncated artifact where
+// LoadFile (or a model-swap endpoint) would find it. It is the
+// artifact-write path the continuous-learning layer uses to persist
+// promoted models.
+func SaveFile(path string, c *Classifier) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := c.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("core: saving model: %w", err)
 	}
 	return nil

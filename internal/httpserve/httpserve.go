@@ -8,9 +8,17 @@
 //	POST /v1/classify        classify one binary
 //	POST /v1/classify/batch  classify many binaries in one engine window
 //	POST /v1/model/swap      hot-swap a persisted model artifact
+//	POST /v1/retrain         kick a continuous-learning cycle (wait optional)
+//	GET  /v1/retrain/status  retrainer counters and the last cycle's result
 //	GET  /healthz            liveness
 //	GET  /readyz             readiness (503 while shutting down)
 //	GET  /metrics            Prometheus text exposition
+//
+// With Options.Retrainer configured the classify routes also feed the
+// continuous-learning loop: every confident prediction is offered to
+// the retrainer's training store, and manual model swaps update the
+// retrainer's incumbent so its promotion gate keeps comparing against
+// what actually serves (see internal/retrain and OPERATIONS.md).
 //
 // The layer is production-shaped without being a framework: request
 // bodies are size-limited, classification routes sit behind a
@@ -34,6 +42,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/retrain"
 	"repro/internal/serve"
 )
 
@@ -85,6 +95,12 @@ type Options struct {
 	// Collector deduplicates feature extraction across requests. A nil
 	// value creates a private collector with default options.
 	Collector *collector.Collector
+	// Retrainer, when non-nil, enables the continuous-learning surface:
+	// the classify routes harvest confident predictions into its
+	// training store, POST /v1/retrain kicks a cycle, GET
+	// /v1/retrain/status reports it, and manual swaps update its
+	// incumbent. The caller keeps ownership (and Closes it).
+	Retrainer *retrain.Retrainer
 	// Registry receives the server's metrics. A nil value creates a
 	// private registry, exposed on GET /metrics either way.
 	Registry *metrics.Registry
@@ -152,6 +168,13 @@ func New(engine *serve.Engine, opt Options) *Server {
 	s.mux.Handle("/v1/classify", s.instrument("/v1/classify", http.MethodPost, true, s.handleClassify))
 	s.mux.Handle("/v1/classify/batch", s.instrument("/v1/classify/batch", http.MethodPost, true, s.handleBatch))
 	s.mux.Handle("/v1/model/swap", s.instrument("/v1/model/swap", http.MethodPost, true, s.handleSwap))
+	// Not semaphore-limited: a waited kick blocks for a full training
+	// cycle (potentially minutes), and holding a classify slot that
+	// long would starve the classification routes the semaphore exists
+	// to protect. The retrainer serialises cycles itself, and the tiny
+	// request body gets its own cap in the handler.
+	s.mux.Handle("/v1/retrain", s.instrument("/v1/retrain", http.MethodPost, false, s.handleRetrain))
+	s.mux.Handle("/v1/retrain/status", s.instrument("/v1/retrain/status", http.MethodGet, false, s.handleRetrainStatus))
 	s.mux.Handle("/healthz", s.instrument("/healthz", http.MethodGet, false, s.handleHealthz))
 	s.mux.Handle("/readyz", s.instrument("/readyz", http.MethodGet, false, s.handleReadyz))
 	s.mux.Handle("/metrics", s.instrument("/metrics", http.MethodGet, false, s.handleMetrics))
@@ -300,6 +323,22 @@ type SwapRequest struct {
 	Path string `json:"path"`
 }
 
+// RetrainRequest kicks a continuous-learning cycle. With Wait the
+// request blocks until the cycle completes and returns its result;
+// without it the cycle runs in the background and the response is an
+// acknowledgement (poll /v1/retrain/status for the outcome). An empty
+// body is a background kick.
+type RetrainRequest struct {
+	Wait bool `json:"wait,omitempty"`
+}
+
+// RetrainResponse acknowledges a triggered cycle; Result is set only
+// for waited requests.
+type RetrainResponse struct {
+	Triggered bool            `json:"triggered"`
+	Result    *retrain.Result `json:"result,omitempty"`
+}
+
 // SwapResponse acknowledges an installed swap.
 type SwapResponse struct {
 	ModelKind string `json:"model_kind"`
@@ -426,10 +465,20 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pred := s.engine.Classify(&sample)
+	s.harvest(&sample, pred)
 	writeJSON(w, http.StatusOK, ClassifyResponse{
 		Exe: req.Exe, Label: pred.Label, Class: pred.Class,
 		Confidence: pred.Confidence, Cached: cached,
 	})
+}
+
+// harvest offers one served prediction to the continuous-learning
+// store, when retraining is configured. The retrainer applies its own
+// confidence gate; a cache-served duplicate is dedup'd by the store.
+func (s *Server) harvest(sample *dataset.Sample, pred core.Prediction) {
+	if s.opt.Retrainer != nil {
+		s.opt.Retrainer.ObservePrediction(sample, pred)
+	}
 }
 
 // handleBatch classifies many binaries through one ClassifyAll call, so
@@ -473,6 +522,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(batch) > 0 {
 		preds := s.engine.ClassifyAll(batch)
 		for j, sl := range good {
+			s.harvest(&batch[j], preds[j])
 			resp.Results[sl.index] = ClassifyResponse{
 				Exe:        req.Samples[sl.index].Exe,
 				Label:      preds[j].Label,
@@ -513,11 +563,57 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 			errorResponse{Error: fmt.Sprintf("load model: %v", err)})
 		return
 	}
-	s.engine.Swap(next)
+	// A manual swap (a rollback included) also resets the promotion
+	// gate's baseline; InstallIncumbent does both atomically so a swap
+	// racing an automatic promotion cannot leave the gate comparing
+	// against a model the engine no longer serves.
+	if rt := s.opt.Retrainer; rt != nil {
+		rt.InstallIncumbent(next)
+	} else {
+		s.engine.Swap(next)
+	}
 	writeJSON(w, http.StatusOK, SwapResponse{
 		ModelKind: next.ModelKind(),
 		Swaps:     s.engine.Stats().Swaps,
 	})
+}
+
+// handleRetrain kicks a continuous-learning cycle: by default the cycle
+// runs in the background and the request is acknowledged 202; with
+// {"wait":true} the request blocks for the cycle and returns its
+// result. 404 when retraining is not configured.
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	rt := s.opt.Retrainer
+	if rt == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: "retraining is not configured on this server"})
+		return
+	}
+	var req RetrainRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20) // the request is a tiny flag object
+	if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	if req.Wait {
+		res := rt.RunNow("http")
+		writeJSON(w, http.StatusOK, RetrainResponse{Triggered: true, Result: &res})
+		return
+	}
+	rt.Kick()
+	writeJSON(w, http.StatusAccepted, RetrainResponse{Triggered: true})
+}
+
+// handleRetrainStatus reports the retrainer's counters, store
+// population and the last cycle's result.
+func (s *Server) handleRetrainStatus(w http.ResponseWriter, _ *http.Request) {
+	rt := s.opt.Retrainer
+	if rt == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: "retraining is not configured on this server"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.Stats())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

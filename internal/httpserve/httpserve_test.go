@@ -21,6 +21,7 @@ import (
 	"repro/internal/collector"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/retrain"
 	"repro/internal/rf"
 	"repro/internal/serve"
 	"repro/internal/synth"
@@ -717,5 +718,187 @@ func TestHTTPMetricsMoveUnderLoad(t *testing.T) {
 	// label; probe one to keep the label path covered.
 	if !strings.Contains(after, `fhc_http_requests_total{route="/metrics",code="200"}`) {
 		t.Fatalf("metrics route not self-counted:\n%s", after)
+	}
+}
+
+// ----- continuous learning over HTTP ------------------------------------
+
+// getJSON fetches a URL and returns status and body.
+func getJSON(t *testing.T, client *http.Client, url string) (int, []byte) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHTTPRetrainDisabled(t *testing.T) {
+	ts, _, _ := newTestServer(t, serve.Options{}, Options{})
+	if code, body := postJSON(t, ts.Client(), ts.URL+"/v1/retrain", RetrainRequest{}); code != http.StatusNotFound {
+		t.Fatalf("retrain without retrainer: %d %s", code, body)
+	}
+	if code, body := getJSON(t, ts.Client(), ts.URL+"/v1/retrain/status"); code != http.StatusNotFound {
+		t.Fatalf("status without retrainer: %d %s", code, body)
+	}
+}
+
+// retrainTestServer wires a server whose retrainer promotes instantly
+// (prebuilt candidate) over a pre-filled store.
+func retrainTestServer(t *testing.T, candidate *core.Classifier) (*httptest.Server, *serve.Engine, *retrain.Retrainer) {
+	t.Helper()
+	fixture(t)
+	engine := serve.New(fixRF, serve.Options{})
+	rt, err := retrain.New(engine, fixRF, retrain.Options{
+		MinNewSamples: -1,
+		MinConfidence: 0.5,
+		TrainFunc: func([]dataset.Sample, core.Config) (*core.Classifier, error) {
+			return candidate, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fixSamples {
+		rt.HarvestLabeled(&fixSamples[i], fixSamples[i].Class)
+	}
+	s := New(engine, Options{Retrainer: rt})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		rt.Close()
+		engine.Close()
+	})
+	return ts, engine, rt
+}
+
+func TestHTTPRetrainWaitKickAndStatus(t *testing.T) {
+	ts, engine, rt := retrainTestServer(t, fixRF)
+	client := ts.Client()
+
+	// Waited kick: the response carries the cycle result.
+	code, body := postJSON(t, client, ts.URL+"/v1/retrain", RetrainRequest{Wait: true})
+	if code != http.StatusOK {
+		t.Fatalf("waited retrain: %d %s", code, body)
+	}
+	var resp RetrainResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("retrain response: %v\n%s", err, body)
+	}
+	if !resp.Triggered || resp.Result == nil || !resp.Result.Promoted {
+		t.Fatalf("waited retrain should promote: %s", body)
+	}
+	if resp.Result.Trigger != "http" {
+		t.Fatalf("trigger = %q, want http", resp.Result.Trigger)
+	}
+	if engine.Stats().Swaps != 1 {
+		t.Fatalf("swaps = %d, want 1", engine.Stats().Swaps)
+	}
+
+	// Background kick (empty body): 202, then the cycle lands.
+	resp2, err := client.Post(ts.URL+"/v1/retrain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("background kick: %d", resp2.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for rt.Stats().Runs < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("background kick never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Status reflects both cycles.
+	code, body = getJSON(t, client, ts.URL+"/v1/retrain/status")
+	if code != http.StatusOK {
+		t.Fatalf("status: %d %s", code, body)
+	}
+	var st retrain.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("status response: %v\n%s", err, body)
+	}
+	if st.Runs != 2 || st.Promotions != 2 || st.Last == nil {
+		t.Fatalf("status = %s", body)
+	}
+}
+
+// TestHTTPClassifyHarvestsIntoStore proves the classify route feeds the
+// continuous-learning store: confident predictions are admitted, and a
+// duplicate submission does not occupy a second slot.
+func TestHTTPClassifyHarvestsIntoStore(t *testing.T) {
+	fixture(t)
+	engine := serve.New(fixRF, serve.Options{})
+	rt, err := retrain.New(engine, fixRF, retrain.Options{MinNewSamples: -1, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(engine, Options{Retrainer: rt})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		rt.Close()
+		engine.Close()
+	})
+
+	classifyOver(t, ts.Client(), ts.URL, fixBins[0])
+	classifyOver(t, ts.Client(), ts.URL, fixBins[0]) // duplicate content
+	classifyOver(t, ts.Client(), ts.URL, fixBins[1])
+
+	st := rt.Stats()
+	if st.StoreSize != 2 {
+		t.Fatalf("store holds %d samples after 3 submissions of 2 binaries: %+v", st.StoreSize, st)
+	}
+	if st.Harvested != 2 {
+		t.Fatalf("harvested = %d, want 2: %+v", st.Harvested, st)
+	}
+}
+
+// TestHTTPManualSwapResetsIncumbent proves a manual model swap updates
+// the promotion gate's baseline: after swapping in a deliberately
+// degraded model, a cycle's incumbent score is the degraded one.
+func TestHTTPManualSwapResetsIncumbent(t *testing.T) {
+	fixture(t)
+	// A degraded artifact: the rf fixture with an unreachable threshold,
+	// so every prediction demotes to unknown.
+	degraded, err := core.LoadFile(fixRFPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded.SetThreshold(1.5)
+	degradedPath := filepath.Join(t.TempDir(), "degraded.json")
+	if err := core.SaveFile(degradedPath, degraded); err != nil {
+		t.Fatal(err)
+	}
+
+	ts, _, _ := retrainTestServer(t, fixRF)
+	client := ts.Client()
+	if code, body := postJSON(t, client, ts.URL+"/v1/model/swap", SwapRequest{Path: degradedPath}); code != http.StatusOK {
+		t.Fatalf("swap: %d %s", code, body)
+	}
+
+	code, body := postJSON(t, client, ts.URL+"/v1/retrain", RetrainRequest{Wait: true})
+	if code != http.StatusOK {
+		t.Fatalf("retrain: %d %s", code, body)
+	}
+	var resp RetrainResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	res := resp.Result
+	if res == nil || !res.Promoted {
+		t.Fatalf("candidate should beat the degraded incumbent: %s", body)
+	}
+	if res.IncumbentF1 >= res.CandidateF1 {
+		t.Fatalf("incumbent not reset to the degraded model: incumbent %v vs candidate %v",
+			res.IncumbentF1, res.CandidateF1)
 	}
 }

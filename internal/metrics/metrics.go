@@ -228,6 +228,24 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.f.child(renderLabels(v.labels, values)).c
 }
 
+// GaugeVec is a labelled gauge family.
+type GaugeVec struct {
+	f      *family
+	labels []string
+}
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, typeGauge, nil), labels: labelNames}
+}
+
+// With returns the child gauge for the given label values (one per label
+// name, in order). Children are interned: the same values always return
+// the same gauge.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(renderLabels(v.labels, values)).g
+}
+
 // HistogramVec is a labelled histogram family.
 type HistogramVec struct {
 	f      *family

@@ -67,6 +67,27 @@ func TestVecLabelsAndInterning(t *testing.T) {
 	}
 }
 
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("fhc_retrain_store_samples", "Training-store samples by class.", "class")
+	v.With("Alpha").Set(12)
+	v.With("Beta").Set(3)
+	v.With("Alpha").Add(-2)
+	if got := v.With("Alpha").Value(); got != 10 {
+		t.Fatalf("interned child value = %g, want 10", got)
+	}
+	out := expose(t, r)
+	for _, want := range []string{
+		"# TYPE fhc_retrain_store_samples gauge",
+		`fhc_retrain_store_samples{class="Alpha"} 10`,
+		`fhc_retrain_store_samples{class="Beta"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestLabelEscaping(t *testing.T) {
 	r := NewRegistry()
 	v := r.CounterVec("fhc_weird_total", "", "path")

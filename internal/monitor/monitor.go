@@ -104,16 +104,25 @@ type Finding struct {
 	Message string
 }
 
+// Observer receives every observation a Monitor makes: the event, its
+// prediction and the policy findings. The continuous-learning layer
+// registers one to harvest labelled windows off the monitoring stream.
+// Observers run synchronously on the observing goroutine, outside the
+// monitor's locks, so they may call back into the monitor but should
+// return quickly.
+type Observer func(e Event, pred core.Prediction, findings []Finding)
+
 // Monitor labels job events and applies policy. It is safe for
 // concurrent use: job streams arrive from many scheduler hooks at once.
 type Monitor struct {
 	labeler Labeler
 	policy  Policy
 
-	mu      sync.Mutex
-	allowed map[string]map[string]bool
-	blocked map[string]bool
-	history map[string]map[string]int // user -> class -> observations
+	mu       sync.Mutex
+	allowed  map[string]map[string]bool
+	blocked  map[string]bool
+	history  map[string]map[string]int // user -> class -> observations
+	observer Observer
 }
 
 // New builds a monitor over a trained labeler and a policy.
@@ -146,11 +155,34 @@ type Observation struct {
 	Findings []Finding
 }
 
+// SetObserver registers fn to receive every subsequent observation;
+// nil removes the observer. Safe to call while other goroutines
+// observe, though registrations racing in-flight observations may miss
+// them — register before serving starts when completeness matters.
+func (m *Monitor) SetObserver(fn Observer) {
+	m.mu.Lock()
+	m.observer = fn
+	m.mu.Unlock()
+}
+
+// notify delivers one observation to the registered observer, if any,
+// outside the monitor's locks.
+func (m *Monitor) notify(e Event, pred core.Prediction, findings []Finding) {
+	m.mu.Lock()
+	fn := m.observer
+	m.mu.Unlock()
+	if fn != nil {
+		fn(e, pred, findings)
+	}
+}
+
 // Observe labels one job event, records it in the user's history and
 // returns the prediction together with any policy findings.
 func (m *Monitor) Observe(e Event) (core.Prediction, []Finding) {
 	pred := m.labeler.Classify(&e.Sample)
-	return pred, m.apply(e, pred)
+	findings := m.apply(e, pred)
+	m.notify(e, pred, findings)
+	return pred, findings
 }
 
 // ObserveAll labels a burst of job events and applies policy to each.
@@ -175,6 +207,7 @@ func (m *Monitor) ObserveAll(events []Event) []Observation {
 	out := make([]Observation, len(events))
 	for i := range events {
 		out[i] = Observation{Prediction: preds[i], Findings: m.apply(events[i], preds[i])}
+		m.notify(events[i], preds[i], out[i].Findings)
 	}
 	return out
 }

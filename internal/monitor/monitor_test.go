@@ -267,3 +267,40 @@ func TestFindingKindString(t *testing.T) {
 		}
 	}
 }
+
+func TestObserverReceivesEveryObservation(t *testing.T) {
+	m := testMonitor()
+	type seen struct {
+		jobID string
+		label string
+		n     int // findings
+	}
+	var got []seen
+	m.SetObserver(func(e Event, pred core.Prediction, findings []Finding) {
+		got = append(got, seen{jobID: e.JobID, label: pred.Label, n: len(findings)})
+	})
+
+	events := []Event{
+		{JobID: "1", User: "alice", Account: "bio-1", Sample: dataset.Sample{Class: "BLAST"}},
+		{JobID: "2", User: "alice", Sample: dataset.Sample{Class: "Mystery"}},
+	}
+	m.Observe(events[0])
+	m.ObserveAll(events[1:])
+
+	if len(got) != 2 {
+		t.Fatalf("observer saw %d observations, want 2: %+v", len(got), got)
+	}
+	if got[0].jobID != "1" || got[0].label != "BLAST" {
+		t.Fatalf("first observation: %+v", got[0])
+	}
+	if got[1].jobID != "2" || got[1].label != core.UnknownLabel || got[1].n == 0 {
+		t.Fatalf("second observation should carry the unknown finding: %+v", got[1])
+	}
+
+	// Removing the observer stops delivery.
+	m.SetObserver(nil)
+	m.Observe(events[0])
+	if len(got) != 2 {
+		t.Fatalf("removed observer still invoked: %+v", got)
+	}
+}

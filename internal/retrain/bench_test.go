@@ -1,0 +1,38 @@
+package retrain
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rf"
+	"repro/internal/serve"
+)
+
+// BenchmarkRetrainCycle measures one full continuous-learning cycle —
+// store snapshot, frozen holdout split, candidate training through the
+// model registry, holdout scoring of both models, the promotion gate
+// and the zero-downtime swap — the work a production deployment pays
+// per trigger, entirely off the serving hot path.
+func BenchmarkRetrainCycle(b *testing.B) {
+	fixture(b)
+	engine := serve.New(fixAll, serve.Options{})
+	defer engine.Close()
+	rt, err := New(engine, fixAll, Options{
+		MinNewSamples: -1,
+		Train:         core.Config{Threshold: 0.5, Seed: 11, Forest: rf.Params{NumTrees: 40}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	for i := range fixSamples {
+		rt.HarvestLabeled(&fixSamples[i], fixSamples[i].Class)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := rt.RunNow("bench")
+		if res.Err != "" {
+			b.Fatal(res.Err)
+		}
+	}
+}

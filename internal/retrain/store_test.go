@@ -1,0 +1,192 @@
+package retrain
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// labelledSample builds a sample with a synthetic, collision-free
+// content digest.
+func labelledSample(class string, id byte) dataset.Sample {
+	s := dataset.Sample{Class: class, Exe: fmt.Sprintf("%s-%d", class, id)}
+	s.SHA256[0] = id
+	s.SHA256[1] = class[0]
+	s.SHA256[2] = 1 // keep the key non-zero even for id 0
+	return s
+}
+
+func TestStoreClassBalancedEviction(t *testing.T) {
+	s, err := NewStore(StoreOptions{Cap: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !s.Add(labelledSample("Alpha", byte(i)), false) {
+			t.Fatalf("Alpha %d not admitted", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if !s.Add(labelledSample("Beta", byte(10+i)), false) {
+			t.Fatalf("Beta %d not admitted", i)
+		}
+	}
+	// 7 samples over a cap of 6: the largest class (Alpha, 4) loses its
+	// oldest member.
+	if got := s.Len(); got != 6 {
+		t.Fatalf("Len = %d, want 6", got)
+	}
+	perClass := s.PerClass()
+	if perClass["Alpha"] != 3 || perClass["Beta"] != 3 {
+		t.Fatalf("per-class = %v, want Alpha:3 Beta:3", perClass)
+	}
+	if got := s.Evicted(); got != 1 {
+		t.Fatalf("Evicted = %d, want 1", got)
+	}
+	for _, sm := range s.Snapshot() {
+		if sm.Class == "Alpha" && sm.Exe == "Alpha-0" {
+			t.Fatalf("oldest Alpha sample survived eviction")
+		}
+	}
+}
+
+func TestStoreEvictionPrefersLargestThenOldest(t *testing.T) {
+	s, err := NewStore(StoreOptions{Cap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal class sizes after the cap trips: the tie breaks toward the
+	// class holding the globally oldest entry.
+	s.Add(labelledSample("Beta", 10), false)
+	s.Add(labelledSample("Alpha", 0), false)
+	s.Add(labelledSample("Alpha", 1), false)
+	s.Add(labelledSample("Beta", 11), false)
+	s.Add(labelledSample("Gamma", 20), false) // both Alpha and Beta hold 2; Beta-10 is oldest
+	perClass := s.PerClass()
+	want := map[string]int{"Alpha": 2, "Beta": 1, "Gamma": 1}
+	if !reflect.DeepEqual(perClass, want) {
+		t.Fatalf("per-class = %v, want %v", perClass, want)
+	}
+	for _, sm := range s.Snapshot() {
+		if sm.Exe == "Beta-10" {
+			t.Fatalf("globally oldest entry of the largest classes survived")
+		}
+	}
+}
+
+func TestStoreRejectsUnlabelledUnknownAndDuplicates(t *testing.T) {
+	s, err := NewStore(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Add(dataset.Sample{}, false) {
+		t.Fatal("unlabelled sample admitted")
+	}
+	if s.Add(labelledSample(unknownLabel, 1), false) {
+		t.Fatal("unknown-labelled sample admitted")
+	}
+	first := labelledSample("Alpha", 1)
+	if !s.Add(first, false) {
+		t.Fatal("fresh sample rejected")
+	}
+	dup := first
+	dup.Exe = "renamed" // same content, different name: still a duplicate
+	if s.Add(dup, false) {
+		t.Fatal("duplicate content admitted twice")
+	}
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+// TestStorePersistenceRoundTrip holds the satellite requirement: a
+// saved store reloads with identical reservoir contents and class
+// balance, on real extracted samples (digests included).
+func TestStorePersistenceRoundTrip(t *testing.T) {
+	samples := corpusSamples(t)
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s, err := NewStore(StoreOptions{Cap: len(samples), Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range samples {
+		if !s.Add(samples[i], false) {
+			t.Fatalf("sample %d not admitted", i)
+		}
+	}
+	if err := s.Save(); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	reloaded, err := NewStore(StoreOptions{Cap: len(samples), Path: path})
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if !reflect.DeepEqual(s.Snapshot(), reloaded.Snapshot()) {
+		t.Fatal("reloaded snapshot differs from saved snapshot")
+	}
+	if !reflect.DeepEqual(s.PerClass(), reloaded.PerClass()) {
+		t.Fatalf("class balance changed across reload: %v vs %v", s.PerClass(), reloaded.PerClass())
+	}
+
+	// Dedup state must survive too: re-adding persisted content is
+	// still a duplicate.
+	if reloaded.Add(samples[0], false) {
+		t.Fatal("reloaded store re-admitted persisted content")
+	}
+}
+
+// TestStoreGroundTruthRelabels covers label provenance: an operator
+// correction replaces a stored self-label for the same content, and a
+// later self-label can never flip it back.
+func TestStoreGroundTruthRelabels(t *testing.T) {
+	s, err := NewStore(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := labelledSample("Alpha", 1) // confident misprediction
+	if !s.Add(sample, false) {
+		t.Fatal("self-label not admitted")
+	}
+
+	corrected := sample
+	corrected.Class = "Beta"
+	if !s.Add(corrected, true) {
+		t.Fatal("operator correction dropped")
+	}
+	if got := s.PerClass(); got["Alpha"] != 0 || got["Beta"] != 1 || s.Len() != 1 {
+		t.Fatalf("relabel did not replace the entry: %v (len %d)", got, s.Len())
+	}
+
+	// The model confidently re-mislabels the same content: the ground
+	// truth must hold.
+	if s.Add(sample, false) {
+		t.Fatal("self-label overrode operator ground truth")
+	}
+	if got := s.PerClass(); got["Beta"] != 1 || got["Alpha"] != 0 {
+		t.Fatalf("ground truth flipped back: %v", got)
+	}
+
+	// A newer operator correction still wins (latest ground truth rules).
+	recorrected := sample
+	recorrected.Class = "Gamma"
+	if !s.Add(recorrected, true) {
+		t.Fatal("second operator correction dropped")
+	}
+	if got := s.PerClass(); got["Gamma"] != 1 || s.Len() != 1 {
+		t.Fatalf("second relabel did not replace: %v", got)
+	}
+}
+
+func TestStoreMissingFileIsEmpty(t *testing.T) {
+	s, err := NewStore(StoreOptions{Path: filepath.Join(t.TempDir(), "absent.jsonl")})
+	if err != nil {
+		t.Fatalf("missing store file should not error: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}

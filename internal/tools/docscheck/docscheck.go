@@ -1,6 +1,6 @@
 // Command docscheck is the repository's documentation gate, run by the
-// CI docs job with no external action dependencies. It performs two
-// checks, selected by argument type:
+// CI docs job with no external action dependencies. It performs three
+// checks:
 //
 //   - a markdown file argument has its local links validated: every
 //     [text](target) whose target is not an external URL must resolve to
@@ -8,7 +8,13 @@
 //     same-file #fragments must match a heading's GitHub-style anchor;
 //   - a directory argument is walked for Go packages, each of which must
 //     carry a non-trivial package comment (the godoc contract this
-//     repository holds every internal package to).
+//     repository holds every internal package to);
+//   - with -api DIR, markdown files are additionally scanned for
+//     package-qualified identifier references (e.g. `fhc.NewEngine` in a
+//     code span or example block) and every referenced name must exist
+//     as an exported top-level identifier of the package in DIR — the
+//     doc-rot gate that catches prose still naming an API that a
+//     refactor renamed or removed.
 //
 // Exit status is non-zero when any check fails; every failure is
 // reported, not just the first.
@@ -19,6 +25,7 @@ package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io"
@@ -26,12 +33,13 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: docscheck FILE.md|DIR ...")
+		fmt.Fprintln(os.Stderr, "usage: docscheck [-api DIR] FILE.md|DIR ...")
 		os.Exit(2)
 	}
 	if n := run(os.Args[1:], os.Stderr); n > 0 {
@@ -40,9 +48,27 @@ func main() {
 	}
 }
 
+// api is the exported surface the identifier check validates against.
+type api struct {
+	pkg   string          // package name, e.g. "fhc"
+	names map[string]bool // exported top-level identifiers
+	ref   *regexp.Regexp  // matches pkg.Identifier references
+}
+
 // run checks every argument and returns the number of problems found.
+// A leading "-api DIR" pair selects the public package whose exported
+// identifiers markdown references are checked against.
 func run(args []string, out io.Writer) int {
 	problems := 0
+	var surface *api
+	if len(args) >= 2 && args[0] == "-api" {
+		var err error
+		if surface, err = loadAPI(args[1]); err != nil {
+			fmt.Fprintf(out, "%s: %v\n", args[1], err)
+			problems++
+		}
+		args = args[2:]
+	}
 	for _, arg := range args {
 		st, err := os.Stat(arg)
 		if err != nil {
@@ -53,8 +79,84 @@ func run(args []string, out io.Writer) int {
 		if st.IsDir() {
 			problems += checkPackageDocs(arg, out)
 		} else {
-			problems += checkMarkdown(arg, out)
+			problems += checkMarkdown(arg, surface, out)
 		}
+	}
+	return problems
+}
+
+// loadAPI parses the package in dir (tests excluded) and collects its
+// exported top-level identifiers: functions, types, consts and vars.
+// Methods are not collected — a doc reference like pkg.Type.Method is
+// checked at its first segment, the exported type.
+func loadAPI(dir string) (*api, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) != 1 {
+		names := make([]string, 0, len(pkgs))
+		for name := range pkgs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("-api dir holds %d packages %v, want 1", len(pkgs), names)
+	}
+	out := &api{names: map[string]bool{}}
+	for name, pkg := range pkgs {
+		out.pkg = name
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv == nil && d.Name.IsExported() {
+						out.names[d.Name.Name] = true
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() {
+								out.names[s.Name.Name] = true
+							}
+						case *ast.ValueSpec:
+							for _, id := range s.Names {
+								if id.IsExported() {
+									out.names[id.Name] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Qualified references: the package name, a dot, an exported
+	// identifier — the shape every code span and example in the docs
+	// uses (`fhc.NewEngine`, `fhc.Config{...}`).
+	out.ref = regexp.MustCompile(`\b` + regexp.QuoteMeta(out.pkg) + `\.([A-Z][A-Za-z0-9_]*)`)
+	return out, nil
+}
+
+// checkAPIRefs flags package-qualified identifier references that no
+// longer exist in the public API. It scans the raw content — inline
+// code spans and fenced example blocks alike — because that is exactly
+// where renamed identifiers rot.
+func checkAPIRefs(path, content string, surface *api, out io.Writer) int {
+	problems := 0
+	reported := map[string]bool{}
+	for _, m := range surface.ref.FindAllStringSubmatch(content, -1) {
+		name := m[1]
+		if surface.names[name] || reported[name] {
+			continue
+		}
+		reported[name] = true
+		fmt.Fprintf(out, "%s: doc rot: %s.%s is not an exported identifier of package %s\n",
+			path, surface.pkg, name, surface.pkg)
+		problems++
 	}
 	return problems
 }
@@ -63,15 +165,20 @@ func run(args []string, out io.Writer) int {
 // captured without an optional trailing title.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
 
-// checkMarkdown validates every local link in one markdown file.
-func checkMarkdown(path string, out io.Writer) int {
+// checkMarkdown validates every local link in one markdown file and,
+// when an API surface is loaded, every package-qualified identifier
+// reference.
+func checkMarkdown(path string, surface *api, out io.Writer) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(out, "%s: %v\n", path, err)
 		return 1
 	}
-	content := stripCodeBlocks(string(raw))
 	problems := 0
+	if surface != nil {
+		problems += checkAPIRefs(path, string(raw), surface, out)
+	}
+	content := stripCodeBlocks(string(raw))
 	for _, m := range mdLink.FindAllStringSubmatch(content, -1) {
 		target := m[1]
 		switch {

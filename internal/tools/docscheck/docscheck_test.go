@@ -81,14 +81,82 @@ func TestPackageDocs(t *testing.T) {
 	}
 }
 
+func TestAPIIdentifierReferences(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "api/api.go", strings.Join([]string{
+		"// Package demo is the fake public API surface of this test; the",
+		"// comment is long enough to pass the package-comment gate too.",
+		"package demo",
+		"",
+		"// Engine is exported.",
+		"type Engine struct{}",
+		"",
+		"// Swap is a method: not a top-level identifier, but reachable",
+		"// through its receiver type.",
+		"func (e *Engine) Swap() {}",
+		"",
+		"// NewEngine is exported.",
+		"func NewEngine() *Engine { return nil }",
+		"",
+		"// UnknownLabel is an exported constant.",
+		"const UnknownLabel = \"-1\"",
+		"",
+		"// internalHelper is not exported.",
+		"func internalHelper() {}",
+	}, "\n"))
+
+	good := write(t, dir, "good.md", strings.Join([]string{
+		"# Title",
+		"Use `demo.NewEngine` to build a `demo.Engine`; check",
+		"`demo.Engine.Swap` and compare against `demo.UnknownLabel`.",
+		"```go",
+		"e := demo.NewEngine()",
+		"```",
+		"Other packages (`otherpkg.Thing`) and lowercase files like",
+		"demo.go are not identifier references.",
+	}, "\n"))
+	var out strings.Builder
+	if n := run([]string{"-api", filepath.Join(dir, "api"), good}, &out); n != 0 {
+		t.Fatalf("clean references reported %d problems:\n%s", n, out.String())
+	}
+
+	bad := write(t, dir, "bad.md", strings.Join([]string{
+		"# Title",
+		"Call `demo.NewEngien` (a typo) or the removed `demo.Classify`:",
+		"```go",
+		"demo.Classify() // fenced examples are checked too",
+		"```",
+		"`demo.internalHelper` is lowercase and therefore not checked.",
+	}, "\n"))
+	out.Reset()
+	if n := run([]string{"-api", filepath.Join(dir, "api"), bad}, &out); n != 2 {
+		t.Fatalf("rotten references reported %d problems, want 2:\n%s", n, out.String())
+	}
+	for _, want := range []string{"demo.NewEngien", "demo.Classify"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Without -api the same rotten file passes: the identifier check is
+	// strictly opt-in.
+	out.Reset()
+	if n := run([]string{bad}, &out); n != 0 {
+		t.Fatalf("identifier check ran without -api: %d problems:\n%s", n, out.String())
+	}
+}
+
 // TestRepositoryDocsAreClean runs the real gate over the real tree, so
-// `go test` fails the moment a package comment regresses or a README
-// link breaks — the review hook the docs pass promises.
+// `go test` fails the moment a package comment regresses, a README
+// link breaks, or prose references a renamed public identifier — the
+// review hook the docs pass promises.
 func TestRepositoryDocsAreClean(t *testing.T) {
 	root := "../../.."
 	args := []string{
+		"-api", root,
 		filepath.Join(root, "README.md"),
 		filepath.Join(root, "ARCHITECTURE.md"),
+		filepath.Join(root, "OPERATIONS.md"),
 		filepath.Join(root, "examples", "README.md"),
 		filepath.Join(root, "internal"),
 		filepath.Join(root, "ssdeep"),
