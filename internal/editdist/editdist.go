@@ -14,6 +14,8 @@ package editdist
 
 // Levenshtein returns the classic edit distance between a and b counting
 // insertions, deletions and substitutions, each with unit cost.
+//
+// fhc:hotpath
 func Levenshtein(a, b string) int {
 	if a == b {
 		return 0
@@ -56,6 +58,8 @@ func Levenshtein(a, b string) int {
 //	              d(i,j-1)+1,
 //	              d(i-1,j-1)+1[ai!=bj],
 //	              d(i-2,j-2)+1[ai!=bj]  if ai=b(j-1) and a(i-1)=bj )
+//
+// fhc:hotpath
 func OSA(a, b string) int {
 	if a == b {
 		return 0
@@ -100,6 +104,8 @@ func OSA(a, b string) int {
 // (Damerau 1964 / Lowrance–Wagner). For fuzzy-digest comparison OSA and
 // the full distance rarely differ; both are provided for completeness and
 // cross-checked by property tests.
+//
+// fhc:hotpath
 func DamerauLevenshtein(a, b string) int {
 	if a == b {
 		return 0
@@ -171,6 +177,8 @@ func UnitCosts() Costs {
 
 // Weighted returns the restricted Damerau–Levenshtein distance between a
 // and b under the given operation costs.
+//
+// fhc:hotpath
 func Weighted(a, b string, c Costs) int {
 	la, lb := len(a), len(b)
 	if la == 0 {

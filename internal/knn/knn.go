@@ -68,6 +68,8 @@ func Train(X [][]float64, y []int, numClasses int, p Params) (*Classifier, error
 }
 
 // PredictProba returns the class vote distribution for one sample.
+//
+// fhc:hotpath
 func (c *Classifier) PredictProba(x []float64) []float64 {
 	type neighbour struct {
 		dist float64
@@ -159,6 +161,7 @@ func (c *Classifier) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// fhc:hotpath
 func euclidean(a, b []float64) float64 {
 	sum := 0.0
 	for i := range a {

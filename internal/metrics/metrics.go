@@ -145,7 +145,10 @@ type Registry struct {
 	// writeMu serialises whole scrapes: BeforeWrite hooks and the
 	// render they feed run as one critical section, so two concurrent
 	// WritePrometheus calls cannot interleave — every exposition is
-	// rendered entirely against its own hooks' snapshot.
+	// rendered entirely against its own hooks' snapshot. Holding it
+	// across the render's writes is the point; only scrapes contend.
+	//
+	// fhcvet:coarse
 	writeMu sync.Mutex
 }
 

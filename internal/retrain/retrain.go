@@ -210,7 +210,22 @@ type Retrainer struct {
 	incumbent *core.Classifier
 	last      *Result
 
-	runMu sync.Mutex // serialises retraining cycles
+	// runMu serialises retraining cycles end to end; holding it across
+	// the (slow) TrainFunc is its entire purpose.
+	//
+	// fhcvet:coarse
+	runMu sync.Mutex
+
+	// installMu serialises install operations — the engine swap plus the
+	// incumbent update — so the engine always ends up serving the gate's
+	// baseline even when a manual install races a promotion. It is held
+	// across Engine.Swap's in-flight drain by design (that drain is what
+	// it serialises) and is never taken by readers: Stats and the
+	// observation paths take only r.mu, which install holds for a single
+	// pointer write.
+	//
+	// fhcvet:coarse
+	installMu sync.Mutex
 
 	runs, promotions, rejections, failures atomic.Uint64
 	harvested, skipped                     atomic.Uint64
@@ -424,8 +439,21 @@ func (r *Retrainer) InstallIncumbent(clf *core.Classifier) {
 	if clf == nil {
 		return
 	}
-	r.mu.Lock()
+	r.install(clf)
+}
+
+// install is the one path that changes what the engine serves: swap
+// plus baseline update, made atomic against concurrent installs by
+// installMu. Engine.Swap waits for every in-flight window on the old
+// backend to deliver, so r.mu deliberately covers only the incumbent
+// pointer write — holding it across the drain would stall Stats,
+// SetIncumbent and the harvest path for the whole drain (the lockhold
+// finding this layout fixes).
+func (r *Retrainer) install(clf *core.Classifier) {
+	r.installMu.Lock()
+	defer r.installMu.Unlock()
 	r.engine.Swap(clf)
+	r.mu.Lock()
 	r.incumbent = clf
 	r.mu.Unlock()
 }
@@ -585,13 +613,10 @@ func (r *Retrainer) RunNow(trigger string) Result {
 	}
 
 	// Promote: zero-downtime swap and incumbent update as one atomic
-	// step (the same lock manual InstallIncumbent takes), so the gate's
-	// baseline always matches what the engine serves even when a manual
-	// swap races the promotion.
-	r.mu.Lock()
-	r.engine.Swap(candidate)
-	r.incumbent = candidate
-	r.mu.Unlock()
+	// step (the same install path manual InstallIncumbent takes), so the
+	// gate's baseline always matches what the engine serves even when a
+	// manual swap races the promotion.
+	r.install(candidate)
 	res.Promoted = true
 	res.Reason = fmt.Sprintf("promoted: candidate macro-F1 %.4f vs incumbent %.4f (margin %.4f)",
 		res.CandidateF1, res.IncumbentF1, r.opt.Margin)

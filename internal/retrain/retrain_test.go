@@ -558,3 +558,92 @@ func TestSplitHoldoutDeterministicFrozenAndStratified(t *testing.T) {
 		t.Fatalf("split lost samples: %d + %d != %d", len(train1), len(hold1), len(samples))
 	}
 }
+
+// ----- install path lock scope ------------------------------------------
+
+// stallBackend blocks inside PredictProbaBatch until released, keeping
+// an engine window in flight (and therefore any concurrent Swap mid-
+// drain) for as long as the test wants.
+type stallBackend struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *stallBackend) PredictProbaBatch(samples []dataset.Sample) [][]float64 {
+	close(s.entered)
+	<-s.release
+	return make([][]float64, len(samples))
+}
+
+func (s *stallBackend) PredictFromProba(proba []float64) core.Prediction {
+	return core.Prediction{Label: "stall"}
+}
+
+// TestInstallDoesNotHoldStateLockAcrossSwap is the regression test for
+// the lockhold finding on the install path: InstallIncumbent used to
+// hold r.mu across Engine.Swap, which drains every in-flight window —
+// so a single slow window froze Stats, SetIncumbent and the harvest
+// path for the whole drain. The install lock split keeps r.mu to a
+// pointer write: with an install provably blocked mid-drain, Stats and
+// SetIncumbent must still return immediately.
+func TestInstallDoesNotHoldStateLockAcrossSwap(t *testing.T) {
+	fixture(t)
+	stall := &stallBackend{entered: make(chan struct{}), release: make(chan struct{})}
+	engine := serve.New(stall, serve.Options{BatchSize: 1, Workers: 1})
+	defer engine.Close()
+	rt, err := New(engine, fixAB, Options{MinNewSamples: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Put one window in flight on the stalling backend...
+	classified := make(chan core.Prediction, 1)
+	go func() {
+		cp := fixSamples[0]
+		classified <- engine.Classify(&cp)
+	}()
+	<-stall.entered
+
+	// ...so this install blocks inside Swap's drain.
+	installed := make(chan struct{})
+	go func() {
+		rt.InstallIncumbent(fixAll)
+		close(installed)
+	}()
+	select {
+	case <-installed:
+		t.Fatal("install finished while a window was still in flight: drain invariant broken")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The retrainer's state lock must remain free while the install is
+	// parked in the drain.
+	probed := make(chan struct{})
+	go func() {
+		rt.Stats()
+		rt.SetIncumbent(fixAB)
+		close(probed)
+	}()
+	select {
+	case <-probed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stats/SetIncumbent blocked behind an in-flight install: r.mu is being held across Engine.Swap")
+	}
+
+	close(stall.release)
+	<-classified
+	waitFor(t, "install to complete", func() bool {
+		select {
+		case <-installed:
+			return true
+		default:
+			return false
+		}
+	})
+	// The install wins over the probe's SetIncumbent only if it ran
+	// last; either way the engine serves what the last installer chose.
+	if got := engine.Stats().Swaps; got != 1 {
+		t.Fatalf("engine recorded %d swaps, want 1", got)
+	}
+}

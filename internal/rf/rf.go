@@ -333,6 +333,8 @@ func oobScore(f *Forest, X [][]float64, y []int, root *rng.Source) float64 {
 
 // PredictProba returns the class-probability distribution for one sample:
 // the average of the leaf distributions across trees.
+//
+// fhc:hotpath
 func (f *Forest) PredictProba(x []float64) []float64 {
 	proba := make([]float64, f.NumClasses)
 	for _, t := range f.Trees {
@@ -371,6 +373,8 @@ func (f *Forest) PredictProbaBatch(X [][]float64, workers int) [][]float64 {
 }
 
 // leaf walks the tree to the leaf owning x.
+//
+// fhc:hotpath
 func (t *Tree) leaf(x []float64) *Node {
 	i := int32(0)
 	for {

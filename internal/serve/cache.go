@@ -98,6 +98,8 @@ func (c *Cache[V]) shard(k Key) *cacheShard[V] {
 }
 
 // Get returns the cached value and marks it most recently used.
+//
+// fhc:hotpath
 func (c *Cache[V]) Get(k Key) (V, bool) {
 	s := c.shard(k)
 	s.mu.Lock()
@@ -125,6 +127,8 @@ func (c *Cache[V]) Contains(k Key) bool {
 // when inserted=false the returned value is the concurrent winner's,
 // letting racing callers converge on one entry. A full shard evicts its
 // least recently used entry.
+//
+// fhc:hotpath
 func (c *Cache[V]) Add(k Key, v V) (V, bool) {
 	s := c.shard(k)
 	s.mu.Lock()

@@ -304,7 +304,12 @@ func (e *Engine) enqueue(s *dataset.Sample) core.Prediction {
 		e.sendMu.RUnlock()
 		return e.direct(s)
 	}
-	e.queue <- r
+	// The send must stay under sendMu: Close takes the write lock before
+	// closing the queue, so holding the read lock is exactly what makes
+	// this send close-safe. The queue is buffered and drained by a
+	// dedicated dispatcher, so blocking here means backpressure, not a
+	// lock-holder stall.
+	e.queue <- r //fhcvet:ignore lockhold send under sendMu.RLock is the close-safety idiom; Close excludes it via the write lock
 	e.sendMu.RUnlock()
 	return <-r.out
 }
@@ -413,7 +418,10 @@ func (e *Engine) runBatch(b []*request) {
 	backend := e.state.Load().backend
 	probas := backend.PredictProbaBatch(samples)
 	for i, r := range b {
-		r.out <- backend.PredictFromProba(probas[i])
+		// Delivery must stay inside the swapMu span — that is the drain
+		// invariant Swap relies on — and each out channel is buffered
+		// (capacity 1, one send ever), so the send cannot block.
+		r.out <- backend.PredictFromProba(probas[i]) //fhcvet:ignore lockhold delivery under swapMu.RLock is the drain invariant; out has capacity 1
 	}
 }
 

@@ -1,0 +1,66 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/editdist
+cpu: AMD EPYC
+BenchmarkLevenshtein-8   	     100	     10512 ns/op	    2048 B/op	       2 allocs/op
+BenchmarkWeighted-8      	      50	     21033 ns/op
+PASS
+ok  	repro/internal/editdist	0.5s
+pkg: repro/internal/rf
+BenchmarkForestPredict-8 	    1000	      1200 ns/op	       0.85 accuracy
+--- FAIL: BenchmarkBroken
+BenchmarkNoProcs 	       1	   5000000 ns/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	results := parseBench(sample)
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(results), results)
+	}
+	lev := results[0]
+	if lev.Package != "repro/internal/editdist" || lev.Name != "BenchmarkLevenshtein" || lev.Procs != 8 {
+		t.Fatalf("first result misattributed: %+v", lev)
+	}
+	if lev.Iterations != 100 || lev.Metrics["ns/op"] != 10512 || lev.Metrics["allocs/op"] != 2 {
+		t.Fatalf("first result metrics wrong: %+v", lev)
+	}
+	forest := results[2]
+	if forest.Package != "repro/internal/rf" {
+		t.Fatalf("pkg context not tracked: %+v", forest)
+	}
+	if forest.Metrics["accuracy"] != 0.85 {
+		t.Fatalf("custom metric lost: %+v", forest)
+	}
+	noProcs := results[3]
+	if noProcs.Name != "BenchmarkNoProcs" || noProcs.Procs != 1 {
+		t.Fatalf("procs-less benchmark mishandled: %+v", noProcs)
+	}
+}
+
+func TestParseBenchSkipsGarbage(t *testing.T) {
+	if got := parseBench("FAIL\nBenchmarkX\nBenchmarkY-4 notanint 5 ns/op\n"); len(got) != 0 {
+		t.Fatalf("garbage lines parsed as results: %+v", got)
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkX-8", "BenchmarkX", 8},
+		{"BenchmarkX", "BenchmarkX", 1},
+		{"BenchmarkSha-256", "BenchmarkSha", 256}, // ambiguous by design: trailing -N is always procs
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = %q,%d want %q,%d", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

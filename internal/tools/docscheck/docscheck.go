@@ -35,6 +35,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"repro/internal/tools/mdscan"
 )
 
 func main() {
@@ -142,13 +144,14 @@ func loadAPI(dir string) (*api, error) {
 }
 
 // checkAPIRefs flags package-qualified identifier references that no
-// longer exist in the public API. It scans the raw content — inline
-// code spans and fenced example blocks alike — because that is exactly
-// where renamed identifiers rot.
+// longer exist in the public API. It scans code and prose alike —
+// inline code spans and fenced example blocks (backtick or tilde,
+// indented or not) are exactly where renamed identifiers rot, so the
+// scanner deliberately keeps them (mdscan.CodeAndProse).
 func checkAPIRefs(path, content string, surface *api, out io.Writer) int {
 	problems := 0
 	reported := map[string]bool{}
-	for _, m := range surface.ref.FindAllStringSubmatch(content, -1) {
+	for _, m := range surface.ref.FindAllStringSubmatch(mdscan.CodeAndProse(content), -1) {
 		name := m[1]
 		if surface.names[name] || reported[name] {
 			continue
@@ -178,7 +181,7 @@ func checkMarkdown(path string, surface *api, out io.Writer) int {
 	if surface != nil {
 		problems += checkAPIRefs(path, string(raw), surface, out)
 	}
-	content := stripCodeBlocks(string(raw))
+	content := mdscan.ProseOnly(string(raw))
 	for _, m := range mdLink.FindAllStringSubmatch(content, -1) {
 		target := m[1]
 		switch {
@@ -204,26 +207,6 @@ func checkMarkdown(path string, surface *api, out io.Writer) int {
 		}
 	}
 	return problems
-}
-
-// stripCodeBlocks blanks fenced code blocks so example snippets (shell
-// command substitutions, JSON) are not mistaken for links.
-func stripCodeBlocks(s string) string {
-	var b strings.Builder
-	inFence := false
-	for _, line := range strings.SplitAfter(s, "\n") {
-		if strings.HasPrefix(strings.TrimSpace(line), "```") {
-			inFence = !inFence
-			b.WriteString("\n")
-			continue
-		}
-		if inFence {
-			b.WriteString("\n")
-			continue
-		}
-		b.WriteString(line)
-	}
-	return b.String()
 }
 
 // anchorExists reports whether a heading in content slugs to anchor the
@@ -268,6 +251,11 @@ func checkPackageDocs(root string, out io.Writer) int {
 	if err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
+		}
+		if d.IsDir() && d.Name() == "testdata" {
+			// Analyzer fixtures and frozen artifacts are not packages the
+			// godoc contract covers, matching the Go toolchain's convention.
+			return fs.SkipDir
 		}
 		if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
 			dirs[filepath.Dir(path)] = true

@@ -166,3 +166,77 @@ func TestRepositoryDocsAreClean(t *testing.T) {
 		t.Fatalf("repository docs have %d problems:\n%s", n, out.String())
 	}
 }
+
+// TestAPIRefsFencedEdgeCases pins the -api scanner against the fenced-
+// code shapes the shared markdown scanner (internal/tools/mdscan) must
+// handle: tilde fences, fences indented inside list items, and inline
+// backtick spans spanning identifiers. References rot inside code
+// first, so every one of these regions must stay *scanned*.
+func TestAPIRefsFencedEdgeCases(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "api/api.go", strings.Join([]string{
+		"// Package demo is the fake public API surface of this test; the",
+		"// comment is long enough to pass the package-comment gate too.",
+		"package demo",
+		"",
+		"// NewEngine is exported.",
+		"func NewEngine() {}",
+	}, "\n"))
+	api := filepath.Join(dir, "api")
+
+	rotten := write(t, dir, "rotten.md", strings.Join([]string{
+		"# Title",
+		"",
+		"~~~go",
+		"demo.TildeFenced() // rot inside a tilde fence",
+		"~~~",
+		"",
+		"- a list item:",
+		"  ```go",
+		"  demo.IndentedFenced() // rot inside an indented fence",
+		"  ```",
+		"",
+		"And ``demo.Span`ned`` plus `demo.Inline` rot in inline spans.",
+	}, "\n"))
+	var out strings.Builder
+	n := run([]string{"-api", api, rotten}, &out)
+	if n != 4 {
+		t.Fatalf("fenced rot reported %d problems, want 4:\n%s", n, out.String())
+	}
+	for _, want := range []string{"demo.TildeFenced", "demo.IndentedFenced", "demo.Span", "demo.Inline"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestLinkCheckMasksCodeEdgeCases pins the link checker against the
+// same shapes from the other side: link-like text inside tilde fences,
+// indented fences and inline code spans must NOT be reported, while a
+// fence that is never closed by a shorter run keeps masking.
+func TestLinkCheckMasksCodeEdgeCases(t *testing.T) {
+	dir := t.TempDir()
+	good := write(t, dir, "good.md", strings.Join([]string{
+		"# Title",
+		"",
+		"~~~sh",
+		"echo [not a link](missing-tilde.md)",
+		"~~~",
+		"",
+		"- step:",
+		"  ```sh",
+		"  echo [not a link](missing-indented.md)",
+		"  ```",
+		"",
+		"Run `cat [not a link](missing-inline.md)` to see it.",
+		"",
+		"````",
+		"```",
+		"[still fenced](missing-nested.md)",
+		"````",
+	}, "\n"))
+	var out strings.Builder
+	if n := run([]string{good}, &out); n != 0 {
+		t.Fatalf("masked code reported %d problems:\n%s", n, out.String())
+	}
+}

@@ -1,0 +1,171 @@
+// Package analysis is the small, dependency-free analyzer framework
+// behind fhcvet, the repository's invariant checker. It mirrors the
+// shape of golang.org/x/tools/go/analysis — an Analyzer owns a Run
+// function over a type-checked Pass and reports Diagnostics — but is
+// built entirely on the standard library (go/ast, go/types,
+// go/importer), because this repository vendors nothing. Two drivers
+// exist: the go vet -vettool protocol driver (RunUnit, used by CI and
+// cmd/fhcvet) and the fixture harness (package analysistest).
+//
+// Cross-package knowledge travels as Facts: string-keyed records a
+// pass exports about its package (e.g. "this struct field is accessed
+// atomically") that the driver serialises into the .vetx files cmd/go
+// threads through the build graph, so an importing package's pass sees
+// the facts of its dependencies.
+//
+// False positives are suppressed in code, never in a config file: a
+// comment containing "fhcvet:ignore NAME reason" on the flagged line
+// or the line above silences analyzer NAME for that line, keeping the
+// justification next to the code it excuses.
+//
+// Concurrency contract: a Pass is used by one goroutine; drivers run
+// packages sequentially. Analyzer values are stateless and reusable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// fhcvet:ignore suppression comments.
+	Name string
+	// Doc is the one-paragraph description printed by cmd/fhcvet help,
+	// stating the invariant the analyzer machine-enforces.
+	Doc string
+	// Run performs the check over one type-checked package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	// PkgPath is the import path with any test-variant suffix
+	// (" [pkg.test]") stripped — what path-scoped analyzers match on.
+	PkgPath string
+	// TypesInfo holds the type-checker's Uses/Defs/Selections maps.
+	TypesInfo *types.Info
+
+	// ImportedFacts holds the merged facts of every dependency the
+	// driver had .vetx data for; may be empty, never nil.
+	ImportedFacts *Facts
+	// ExportedFacts receives facts this package's analyzers publish for
+	// importers; never nil.
+	ExportedFacts *Facts
+
+	report func(Diagnostic)
+	// suppressions maps file base name and line to the suppression
+	// comment text covering that line.
+	suppressions map[string]map[int]string
+}
+
+// Reportf records one diagnostic unless a fhcvet:ignore comment for
+// this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// ignoreDirective matches "fhcvet:ignore NAME" inside a comment.
+var ignoreDirective = regexp.MustCompile(`fhcvet:ignore\s+([a-z]+)`)
+
+// suppressed reports whether a fhcvet:ignore comment for this analyzer
+// sits on the diagnostic's line or the line directly above it.
+func (p *Pass) suppressed(pos token.Position) bool {
+	lines, ok := p.suppressions[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		text, ok := lines[line]
+		if !ok {
+			continue
+		}
+		for _, m := range ignoreDirective.FindAllStringSubmatch(text, -1) {
+			if m[1] == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// newPass assembles a Pass over one loaded package. Files must have
+// been parsed with comments for suppression to work.
+func newPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	pkgPath string, info *types.Info, imported, exported *Facts, report func(Diagnostic)) *Pass {
+	if imported == nil {
+		imported = NewFacts()
+	}
+	if exported == nil {
+		exported = NewFacts()
+	}
+	p := &Pass{
+		Analyzer: a, Fset: fset, Files: files, Pkg: pkg, PkgPath: pkgPath,
+		TypesInfo: info, ImportedFacts: imported, ExportedFacts: exported,
+		report: report, suppressions: map[string]map[int]string{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "fhcvet:ignore") {
+					continue
+				}
+				position := fset.Position(c.Pos())
+				lines := p.suppressions[position.Filename]
+				if lines == nil {
+					lines = map[int]string{}
+					p.suppressions[position.Filename] = lines
+				}
+				lines[position.Line] += " " + c.Text
+			}
+		}
+	}
+	return p
+}
+
+// trimTestVariant strips cmd/go's test-variant suffix from an import
+// path: "repro/internal/serve [repro/internal/serve.test]" and
+// "repro/internal/serve.test" both scope like the base package.
+func trimTestVariant(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, ".test")
+}
+
+// RunAnalyzers executes every analyzer over one loaded package,
+// collecting diagnostics and exported facts. It is the common core of
+// both drivers.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, pkgPath string, info *types.Info, imported *Facts) ([]Diagnostic, *Facts, error) {
+	var diags []Diagnostic
+	exported := NewFacts()
+	for _, a := range analyzers {
+		pass := newPass(a, fset, files, pkg, trimTestVariant(pkgPath), info, imported, exported,
+			func(d Diagnostic) { diags = append(diags, d) })
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	return diags, exported, nil
+}

@@ -1,0 +1,212 @@
+// Package analysistest runs fhcvet analyzers over small fixture
+// packages and checks their diagnostics against expectations written
+// in the fixtures themselves, mirroring the x/tools harness of the
+// same name: a comment `// want "regexp"` on a line asserts that the
+// analyzer reports a matching diagnostic there, and every diagnostic
+// must be wanted.
+//
+// Fixtures live under testdata/src/<importpath>/ next to the analyzer
+// test. Standard-library imports are type-checked from GOROOT source
+// (go/importer's "source" compiler, so tests need no compiled export
+// data); imports that resolve under testdata/src are loaded
+// recursively, and the analyzer runs over those dependencies first so
+// cross-package Facts flow exactly as they do under go vet.
+//
+// Concurrency contract: Run is called from a single test goroutine;
+// loaded-package caches are per-call.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/tools/fhcvet/analysis"
+)
+
+// Result is what Run observed for the target package.
+type Result struct {
+	Diagnostics []analysis.Diagnostic
+	Facts       *analysis.Facts
+}
+
+// Run loads testdata/src/<pkgPath> (testdata is resolved relative to
+// the test's working directory), runs the analyzer over its fixture
+// dependencies and then the package itself, and compares diagnostics
+// against the fixture's // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) Result {
+	t.Helper()
+	l := &loader{
+		fset:     token.NewFileSet(),
+		src:      filepath.Join(testdata, "src"),
+		std:      importer.ForCompiler(token.NewFileSet(), "source", nil),
+		packages: map[string]*loaded{},
+	}
+	target, err := l.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	// Run the analyzer over fixture dependencies first (topological
+	// order falls out of load recursion order), accumulating facts.
+	imported := analysis.NewFacts()
+	for _, dep := range l.order {
+		if dep == target {
+			continue
+		}
+		_, facts, err := analysis.RunAnalyzers([]*analysis.Analyzer{a},
+			l.fset, dep.files, dep.pkg, dep.path, dep.info, imported)
+		if err != nil {
+			t.Fatalf("analyzer on fixture dep %s: %v", dep.path, err)
+		}
+		imported.Merge(facts)
+	}
+	diags, facts, err := analysis.RunAnalyzers([]*analysis.Analyzer{a},
+		l.fset, target.files, target.pkg, target.path, target.info, imported)
+	if err != nil {
+		t.Fatalf("analyzer on fixture %s: %v", pkgPath, err)
+	}
+	check(t, l.fset, target.files, diags)
+	return Result{Diagnostics: diags, Facts: facts}
+}
+
+// loaded is one type-checked fixture package.
+type loaded struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	fset     *token.FileSet
+	src      string
+	std      types.Importer
+	packages map[string]*loaded
+	order    []*loaded // load completion order: dependencies first
+}
+
+// Import implements types.Importer over the fixture tree with
+// standard-library fallback.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(l.src, path)); err == nil && st.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if p, ok := l.packages[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loaded{path: path, files: files, pkg: pkg, info: info}
+	l.packages[path] = p
+	l.order = append(l.order, p)
+	return p, nil
+}
+
+// wantRx extracts the quoted regexps of a // want comment.
+var wantRx = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// quoted matches one Go-quoted string: double-quoted (group 1) or
+// backtick raw (group 2), the two forms // want comments use.
+var quoted = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// check compares diagnostics against // want expectations, reporting
+// both unexpected diagnostics and unmatched expectations.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quoted.FindAllStringSubmatch(m[1], -1) {
+					text := q[2]
+					if q[1] != "" || q[2] == "" {
+						text = strings.ReplaceAll(q[1], `\"`, `"`)
+					}
+					rx, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, q[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package analysis
+
+// This file implements the go vet -vettool protocol (the "unitchecker"
+// side): cmd/go type-checks nothing itself — it hands the tool a JSON
+// config naming the package's files, the export data of every
+// dependency, and the .vetx fact files of dependencies it already
+// vetted, then expects diagnostics on stderr and a .vetx written for
+// importers. Implementing the protocol directly on go/importer keeps
+// fhcvet free of external modules.
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// vetConfig mirrors the JSON cmd/go writes for each vet unit.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion answers the -V=full probe cmd/go uses to build a cache
+// key for the tool: the first line must read "NAME version ...", and
+// including the binary's content hash makes the cache key change when
+// the tool is rebuilt.
+func PrintVersion(w io.Writer) {
+	prog := "fhcvet"
+	if len(os.Args) > 0 {
+		prog = filepath.Base(os.Args[0])
+	}
+	sum := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			h := sha256.Sum256(data)
+			sum = fmt.Sprintf("%x", h[:12])
+		}
+	}
+	fmt.Fprintf(w, "%s version devel buildID=%s\n", prog, sum)
+}
+
+// PrintFlags answers the -flags probe: a JSON list of the analyzer
+// enable/disable flags, which is all fhcvet supports.
+func PrintFlags(w io.Writer, analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	out := make([]jsonFlag, 0, len(analyzers))
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: doc})
+	}
+	data, _ := json.Marshal(out)
+	fmt.Fprintln(w, string(data))
+}
+
+// RunUnit executes one vet unit: it loads the config, type-checks the
+// package against its dependencies' export data, runs the analyzers,
+// writes the fact file and prints diagnostics to stderr. The returned
+// exit code follows the vet convention: 0 clean, 1 tool failure, 2
+// diagnostics reported.
+func RunUnit(cfgPath string, analyzers []*Analyzer) int {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fhcvet: %v\n", err)
+		return 1
+	}
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return cfg.typecheckFailed(err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typeCheck(cfg, fset, files)
+	if err != nil {
+		return cfg.typecheckFailed(err)
+	}
+
+	imported := NewFacts()
+	for _, vetx := range cfg.PackageVetx {
+		facts, err := readFacts(vetx)
+		if err != nil {
+			// A missing or stale fact file degrades the cross-package
+			// checks; it must not fail the build.
+			continue
+		}
+		imported.Merge(facts)
+	}
+
+	diags, exported, err := RunAnalyzers(analyzers, fset, files, pkg, cfg.ImportPath, info, imported)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fhcvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := writeFacts(cfg.VetxOutput, exported); err != nil {
+			fmt.Fprintf(os.Stderr, "fhcvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// typecheckFailed implements cmd/go's SucceedOnTypecheckFailure escape:
+// when vet runs as part of go test, packages that fail to compile are
+// reported by the compiler, not the vet tool.
+func (cfg *vetConfig) typecheckFailed(err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		if cfg.VetxOutput != "" {
+			_ = writeFacts(cfg.VetxOutput, NewFacts())
+		}
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "fhcvet: %s: %v\n", cfg.ImportPath, err)
+	return 1
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &vetConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	if cfg.Compiler == "" {
+		cfg.Compiler = "gc"
+	}
+	return cfg, nil
+}
+
+// typeCheck loads the package's types against the export data cmd/go
+// listed in PackageFile, with source-level import paths mapped through
+// ImportMap (vendoring, test variants).
+func typeCheck(cfg *vetConfig, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	base := importer.ForCompiler(fset, cfg.Compiler, lookup)
+	imp := &mappedImporter{base: base, importMap: cfg.ImportMap}
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, buildGOARCH()),
+		GoVersion: majorMinor(cfg.GoVersion),
+		Error:     func(error) {}, // collect just the first, via Check's return
+	}
+	info := NewTypesInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// NewTypesInfo returns a types.Info with every map analyzers use.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// mappedImporter applies cmd/go's ImportMap before delegating to the
+// export-data importer, so source-level paths resolve to the package
+// cmd/go actually built for them.
+type mappedImporter struct {
+	base      types.Importer
+	importMap map[string]string
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.base.Import(path)
+}
+
+func (m *mappedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return m.Import(path)
+}
+
+func buildGOARCH() string {
+	if arch := os.Getenv("GOARCH"); arch != "" {
+		return arch
+	}
+	return runtime.GOARCH
+}
+
+// majorMinor trims a toolchain version like "go1.24.0" to the
+// "go1.24" language version go/types accepts.
+func majorMinor(v string) string {
+	if v == "" {
+		return ""
+	}
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) < 2 {
+		return v
+	}
+	return parts[0] + "." + parts[1]
+}
+
+func readFacts(path string) (*Facts, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	facts := NewFacts()
+	if err := gob.NewDecoder(f).Decode(facts); err != nil {
+		return nil, err
+	}
+	return facts, nil
+}
+
+func writeFacts(path string, facts *Facts) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(facts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,194 @@
+// Package atomicfield enforces the all-or-nothing contract of
+// sync/atomic: once any code accesses a struct field (or package-level
+// variable) through the sync/atomic functions, every other access to
+// that location must be atomic too. A single plain read racing an
+// atomic.AddUint64 is undefined behaviour the race detector only
+// catches when the schedule cooperates; this analyzer catches it at
+// vet time, including across package boundaries via Facts (a package
+// that atomically updates an exported field publishes that fact, and
+// importers' plain reads are flagged against it).
+//
+// Fields typed atomic.Uint64 & friends are immune by construction —
+// their plain value is inaccessible — so the analyzer concerns itself
+// only with the legacy pointer-style API (atomic.AddUint64(&s.n, 1)).
+//
+// Concurrency contract: stateless; safe for sequential reuse across
+// passes.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/tools/fhcvet/analysis"
+)
+
+// name is the analyzer's registered name (also its suppression key);
+// a const so helper methods can reference it without an init cycle
+// through the Analyzer variable.
+const name = "atomicfield"
+
+// Analyzer flags mixed atomic/plain access to the same location.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "check that fields accessed via sync/atomic are accessed atomically everywhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:       pass,
+		atomicObjs: map[types.Object]token.Pos{},
+		atomicUses: map[ast.Expr]bool{},
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, c.recordAtomicCalls)
+	}
+	c.exportFacts()
+	for _, f := range pass.Files {
+		ast.Inspect(f, c.checkPlainAccess)
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// atomicObjs maps a field or package-level var object to the first
+	// position where it was accessed via sync/atomic in this package.
+	atomicObjs map[types.Object]token.Pos
+	// atomicUses marks the &x.f operands of atomic calls so the second
+	// walk does not flag the atomic accesses themselves.
+	atomicUses map[ast.Expr]bool
+}
+
+// recordAtomicCalls notes every location whose address is passed to a
+// sync/atomic function.
+func (c *checker) recordAtomicCalls(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return true
+	}
+	obj, ok := c.pass.TypesInfo.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return true
+	}
+	for _, arg := range call.Args {
+		addr, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || addr.Op != token.AND {
+			continue
+		}
+		target := ast.Unparen(addr.X)
+		if obj := c.targetObject(target); obj != nil {
+			if _, seen := c.atomicObjs[obj]; !seen {
+				c.atomicObjs[obj] = addr.Pos()
+			}
+			c.atomicUses[target] = true
+		}
+	}
+	return true
+}
+
+// targetObject resolves the operand of an atomic & to the field or
+// package-level variable it names, or nil when it is neither (locals
+// are single-goroutine concerns the analyzer leaves alone... until
+// they are captured, which addressable-field analysis cannot see).
+func (c *checker) targetObject(expr ast.Expr) types.Object {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := c.pass.TypesInfo.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return nil
+		}
+		return sel.Obj()
+	case *ast.Ident:
+		obj, ok := c.pass.TypesInfo.Uses[e]
+		if !ok {
+			return nil
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Parent() != c.pass.Pkg.Scope() {
+			return nil
+		}
+		return v
+	}
+	return nil
+}
+
+// exportFacts publishes each atomically-accessed location under a
+// stable key so importing packages can check their own accesses.
+func (c *checker) exportFacts() {
+	for obj, pos := range c.atomicObjs {
+		if key := objKey(obj, c.pass.Pkg); key != "" {
+			c.pass.ExportedFacts.Set(name, key, c.pass.Fset.Position(pos).String())
+		}
+	}
+}
+
+// objKey builds the cross-package identity of a location:
+// "pkg/path.Name" for both package-level variables and struct fields.
+// Field keys deliberately omit the owning struct — recovering the
+// owner from a types.Var is unreliable for embedded promotions, and
+// token.Pos values are not comparable between a source-checked pass
+// and an export-data import — so same-named fields of different
+// structs in one package share a key. That is a conservative
+// over-approximation: it can only cause an extra report (silence it
+// with fhcvet:ignore), never hide a race.
+func objKey(obj types.Object, pkg *types.Package) string {
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// checkPlainAccess flags non-atomic uses of locations known (locally
+// or via imported facts) to be accessed atomically.
+func (c *checker) checkPlainAccess(n ast.Node) bool {
+	switch e := n.(type) {
+	case *ast.SelectorExpr:
+		if c.atomicUses[e] {
+			return true
+		}
+		sel, ok := c.pass.TypesInfo.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return true
+		}
+		c.checkObj(sel.Obj(), e.Sel.Pos(), e.Sel.Name)
+	case *ast.Ident:
+		if c.atomicUses[e] {
+			return true
+		}
+		obj, ok := c.pass.TypesInfo.Uses[e]
+		if !ok {
+			return true
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Parent() == nil || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return true
+		}
+		c.checkObj(v, e.Pos(), e.Name)
+	}
+	return true
+}
+
+func (c *checker) checkObj(obj types.Object, pos token.Pos, label string) {
+	if first, ok := c.atomicObjs[obj]; ok {
+		c.pass.Reportf(pos,
+			"plain access to %s, which is accessed atomically at %s; mixing plain and sync/atomic access is a data race",
+			label, c.pass.Fset.Position(first))
+		return
+	}
+	key := objKey(obj, c.pass.Pkg)
+	if key == "" {
+		return
+	}
+	if where, ok := c.pass.ImportedFacts.Get(name, key); ok {
+		c.pass.Reportf(pos,
+			"plain access to %s, which is accessed atomically at %s; mixing plain and sync/atomic access is a data race",
+			label, where)
+	}
+}

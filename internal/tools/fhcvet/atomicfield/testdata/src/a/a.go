@@ -1,0 +1,51 @@
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits  uint64
+	total uint64 // never touched atomically: plain access is fine
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) read() uint64 {
+	return c.hits // want `plain access to hits, which is accessed atomically`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `plain access to hits`
+}
+
+func (c *counter) good() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counter) cleanPlain() {
+	c.total++
+}
+
+func (c *counter) stopped() uint64 {
+	//fhcvet:ignore atomicfield read under stop-the-world, no concurrent writers
+	return c.hits
+}
+
+var flags uint32
+
+func setFlag() { atomic.StoreUint32(&flags, 1) }
+
+func readFlag() uint32 {
+	return flags // want `plain access to flags`
+}
+
+// Stats is exported so package b can (incorrectly) read Ops plainly;
+// the atomic access below publishes the fact importers check against.
+type Stats struct {
+	Ops uint64
+}
+
+func Bump(s *Stats) {
+	atomic.AddUint64(&s.Ops, 1)
+}

@@ -1,0 +1,17 @@
+package b
+
+import (
+	"sync/atomic"
+
+	"a"
+)
+
+// Read races a.Bump: the fact that a.Stats.Ops is atomic travels to
+// this package through the exported fact store.
+func Read(s *a.Stats) uint64 {
+	return s.Ops // want `plain access to Ops, which is accessed atomically`
+}
+
+func GoodRead(s *a.Stats) uint64 {
+	return atomic.LoadUint64(&s.Ops)
+}

@@ -1,0 +1,122 @@
+// Package hotpath keeps the per-window classification path
+// allocation- and reflection-free. A function whose doc comment
+// carries the "fhc:hotpath" marker — the edit-distance inner loops,
+// the forest traversal, the n-gram scorers, the prediction cache — is
+// on the path executed once per classified window, where a stray
+// fmt.Sprintf costs an allocation plus reflection per call and a
+// log write serialises the whole batch. Inside a marked function the
+// analyzer forbids calls into fmt, reflect, and the log packages, and
+// a short table of known-escaping constructors (bytes.NewBuffer,
+// regexp.MustCompile, errors.New, ...). Function literals inside a
+// marked function are part of the path and are checked too.
+//
+// The marker is a contract, not a measurement: annotate from profiles,
+// and the analyzer keeps the annotated code honest thereafter. A
+// deliberate exception (e.g. a panic-formatting slow path) is excused
+// with "fhcvet:ignore hotpath reason" on the flagged line.
+//
+// Concurrency contract: stateless; safe for sequential reuse.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/tools/fhcvet/analysis"
+)
+
+const name = "hotpath"
+
+// Analyzer flags formatting, reflection, logging and known-escaping
+// constructors inside fhc:hotpath-annotated functions.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "check that fhc:hotpath functions avoid fmt, reflection, logging and escaping constructors",
+	Run:  run,
+}
+
+// marker is the doc-comment annotation that opts a function in.
+const marker = "fhc:hotpath"
+
+// bannedPackages are forbidden wholesale in hot functions.
+var bannedPackages = map[string]string{
+	"fmt":      "formats via reflection and allocates",
+	"reflect":  "defeats every compiler optimisation on the path",
+	"log":      "serialises the path on the logger's mutex",
+	"log/slog": "serialises the path on the handler",
+}
+
+// escapingConstructors allocate on every call by design; hot code
+// hoists them out of the loop instead.
+var escapingConstructors = map[string]bool{
+	"bytes.NewBuffer":       true,
+	"bytes.NewBufferString": true,
+	"bytes.NewReader":       true,
+	"strings.NewReader":     true,
+	"strings.NewReplacer":   true,
+	"bufio.NewReader":       true,
+	"bufio.NewWriter":       true,
+	"bufio.NewScanner":      true,
+	"regexp.Compile":        true,
+	"regexp.MustCompile":    true,
+	"errors.New":            true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Doc == nil {
+				continue
+			}
+			if !strings.Contains(fd.Doc.Text(), marker) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkBody flags banned calls anywhere in a hot function, including
+// nested literals (they execute on the same path).
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := callee(pass, call)
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if why, banned := bannedPackages[path]; banned {
+			pass.Reportf(call.Pos(), "hot path %s calls %s.%s, which %s; hoist it off the per-window path",
+				fd.Name.Name, path, fn.Name(), why)
+			return true
+		}
+		if escapingConstructors[path+"."+fn.Name()] {
+			pass.Reportf(call.Pos(), "hot path %s calls %s.%s, which allocates per call; construct once outside the loop",
+				fd.Name.Name, path, fn.Name())
+		}
+		return true
+	})
+}
+
+// callee resolves a call to its static callee object, nil for dynamic
+// calls and conversions.
+func callee(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fn]; ok {
+			return sel.Obj()
+		}
+		return pass.TypesInfo.Uses[fn.Sel]
+	}
+	return nil
+}

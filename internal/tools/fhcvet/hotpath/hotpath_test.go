@@ -1,0 +1,15 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/fhcvet/analysis/analysistest"
+	"repro/internal/tools/fhcvet/hotpath"
+)
+
+func TestHotPathBans(t *testing.T) {
+	r := analysistest.Run(t, "testdata", hotpath.Analyzer, "a")
+	if len(r.Diagnostics) == 0 {
+		t.Fatal("expected diagnostics in hotpath fixture")
+	}
+}

@@ -1,0 +1,71 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"reflect"
+	"regexp"
+)
+
+// distance is the inner scoring loop.
+//
+// fhc:hotpath
+func distance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	log.Printf("comparing %s %s", a, b) // want `hot path distance calls log\.Printf`
+	msg := fmt.Sprintf("%s/%s", a, b)   // want `hot path distance calls fmt\.Sprintf`
+	_ = msg
+	_ = reflect.TypeOf(a)              // want `hot path distance calls reflect\.TypeOf`
+	re := regexp.MustCompile(`[a-z]+`) // want `hot path distance calls regexp\.MustCompile`
+	_ = re
+	err := errors.New("boom") // want `hot path distance calls errors\.New`
+	_ = err
+	return len(a) + len(b)
+}
+
+// score is hot and clean: integer work only.
+//
+// fhc:hotpath
+func score(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// closureHot shows nested literals are on the path too.
+//
+// fhc:hotpath
+func closureHot(xs []string) int {
+	n := 0
+	each(xs, func(s string) {
+		n += len(fmt.Sprint(s)) // want `hot path closureHot calls fmt\.Sprint`
+	})
+	return n
+}
+
+func each(xs []string, f func(string)) {
+	for _, x := range xs {
+		f(x)
+	}
+}
+
+// cold is unannotated: the same calls are fine here.
+func cold(a, b string) string {
+	return fmt.Sprintf("%s-%s", a, b)
+}
+
+// excused documents a deliberate slow-path exception.
+//
+// fhc:hotpath
+func excused(a string) string {
+	if len(a) > 1<<20 {
+		//fhcvet:ignore hotpath panic formatting is off the steady-state path
+		panic(fmt.Sprintf("oversized window %d", len(a)))
+	}
+	return a
+}

@@ -1,0 +1,490 @@
+// Package lockhold enforces the serving stack's small-critical-section
+// discipline: while a sync.Mutex or sync.RWMutex is held, code in the
+// guarded packages (internal/serve, internal/retrain, internal/metrics,
+// internal/collector) must not block or re-enter — no channel sends,
+// receives, selects or ranges; no time.Sleep/After/Tick; no I/O (os,
+// io, net, bufio, fmt.Fprint*); no calls to exported serve.Engine
+// methods from outside the engine; and no invocation of callbacks
+// (func-typed struct fields, parameters, or package-level variables).
+// Any of these under a lock turns one slow or deadlocked goroutine
+// into a stall for every contender — the exact failure mode behind
+// the engine's drain-under-RLock and the retrainer's install path.
+//
+// The analysis is an intraprocedural held-set walk: Lock/RLock on a
+// statement adds the receiver expression to the held set, Unlock
+// removes it, branches and loops inherit a copy (so an unlock inside a
+// returning branch does not leak out), and function literals are
+// analyzed as separate functions since they run on their own schedule.
+//
+// Two escapes exist, both in code next to what they excuse: a
+// "fhcvet:coarse" marker in a mutex field's doc comment exempts a
+// deliberately-coarse lock entirely (e.g. a lock whose whole point is
+// to serialise a slow operation), and "fhcvet:ignore lockhold reason"
+// on a flagged line suppresses a single report (e.g. a send into a
+// buffered channel that is provably non-blocking by construction).
+//
+// Concurrency contract: stateless between passes; Packages is set at
+// init/test time only.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/tools/fhcvet/analysis"
+)
+
+const name = "lockhold"
+
+// Analyzer flags blocking or re-entrant work done while a lock is held.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "check that no blocking or re-entrant work happens while a sync.Mutex/RWMutex is held",
+	Run:  run,
+}
+
+// Packages lists the import paths the discipline applies to. Tests
+// append fixture paths; everything else sees the serving stack's four
+// lock-heavy packages.
+var Packages = []string{
+	"repro/internal/serve",
+	"repro/internal/retrain",
+	"repro/internal/metrics",
+	"repro/internal/collector",
+}
+
+// ioPackages are treated as I/O wholesale: any call into them while
+// holding a lock is a violation.
+var ioPackages = map[string]bool{
+	"os": true, "io": true, "io/ioutil": true, "bufio": true,
+	"net": true, "net/http": true,
+}
+
+func guarded(pkgPath string) bool {
+	for _, p := range Packages {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !guarded(pass.PkgPath) {
+		return nil
+	}
+	c := &checker{
+		pass:   pass,
+		coarse: map[types.Object]bool{},
+		params: map[types.Object]bool{},
+	}
+	c.collectMarkers()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				c.inEngineMethod = c.isEngineMethod(fd)
+				c.scanFunc(fd.Body)
+				continue
+			}
+			// Function literals in var initializers run on their own
+			// schedule too.
+			ast.Inspect(decl, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					c.inEngineMethod = false
+					c.scanFunc(lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// coarse marks mutex fields/vars whose doc comment carries
+	// fhcvet:coarse — deliberately-coarse locks the analyzer skips.
+	coarse map[types.Object]bool
+	// params holds every function parameter object, so calls through
+	// func-typed parameters are recognised as callback invocations.
+	params map[types.Object]bool
+	// inEngineMethod is true while scanning a method of serve.Engine,
+	// whose calls to its own exported methods are not re-entrance.
+	inEngineMethod bool
+}
+
+// collectMarkers gathers fhcvet:coarse mutex exemptions and the set of
+// function parameters, both needed before any body is scanned.
+func (c *checker) collectMarkers() {
+	markCoarse := func(doc *ast.CommentGroup, comment *ast.CommentGroup, names []*ast.Ident) {
+		text := ""
+		if doc != nil {
+			text += doc.Text()
+		}
+		if comment != nil {
+			text += comment.Text()
+		}
+		if !strings.Contains(text, "fhcvet:coarse") {
+			return
+		}
+		for _, id := range names {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				c.coarse[obj] = true
+			}
+		}
+	}
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					markCoarse(field.Doc, field.Comment, field.Names)
+				}
+			case *ast.ValueSpec:
+				markCoarse(n.Doc, n.Comment, n.Names)
+			case *ast.FuncType:
+				for _, field := range n.Params.List {
+					for _, id := range field.Names {
+						if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+							c.params[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isEngineMethod reports whether fd is a method on the serving
+// engine's type.
+func (c *checker) isEngineMethod(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := c.pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	return isEngine(t)
+}
+
+// isEngine reports whether t is (a pointer to) serve.Engine.
+func isEngine(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Engine" && obj.Pkg() != nil &&
+		(obj.Pkg().Path() == "serve" || strings.HasSuffix(obj.Pkg().Path(), "/serve"))
+}
+
+// heldLock records one acquisition.
+type heldLock struct {
+	key string // rendered receiver expression, e.g. "e.sendMu"
+	pos token.Pos
+}
+
+type heldSet map[string]token.Pos
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// one returns a deterministic representative lock (smallest position)
+// for diagnostics when several are held.
+func (h heldSet) one() heldLock {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return h[keys[i]] < h[keys[j]] })
+	return heldLock{key: keys[0], pos: h[keys[0]]}
+}
+
+// scanFunc walks one function body with an empty held set.
+func (c *checker) scanFunc(body *ast.BlockStmt) {
+	c.scanStmts(body.List, heldSet{})
+}
+
+func (c *checker) scanStmts(stmts []ast.Stmt, held heldSet) {
+	for _, s := range stmts {
+		c.scanStmt(s, held)
+	}
+}
+
+// scanStmt updates held for lock operations and checks everything else
+// for violations. Nested scopes get a copy of the held set so a
+// release inside a returning branch stays local to that branch.
+func (c *checker) scanStmt(s ast.Stmt, held heldSet) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch info, op := c.lockOp(call); op {
+			case opLock:
+				if !c.coarseLock(call) {
+					held[info.key] = info.pos
+				}
+				return
+			case opUnlock:
+				delete(held, info.key)
+				return
+			}
+		}
+		c.exprViolations(s.X, held)
+	case *ast.DeferStmt:
+		if _, op := c.lockOp(s.Call); op != opNone {
+			// defer mu.Unlock(): held to function end, which the walk
+			// already models by never removing it.
+			return
+		}
+		// The deferred call runs at return; only its arguments are
+		// evaluated here, under the lock.
+		for _, a := range s.Call.Args {
+			c.exprViolations(a, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs without this goroutine's locks; its
+		// literal is scanned as a separate function. Arguments are
+		// evaluated now.
+		for _, a := range s.Call.Args {
+			c.exprViolations(a, held)
+		}
+	case *ast.BlockStmt:
+		c.scanStmts(s.List, held.clone())
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, held)
+		}
+		c.exprViolations(s.Cond, held)
+		c.scanStmts(s.Body.List, held.clone())
+		if s.Else != nil {
+			c.scanStmt(s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		inner := held.clone()
+		if s.Init != nil {
+			c.scanStmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			c.exprViolations(s.Cond, inner)
+		}
+		c.scanStmts(s.Body.List, inner)
+		if s.Post != nil {
+			c.scanStmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if t := c.pass.TypesInfo.TypeOf(s.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					c.flag(s.For, held, "ranges over a channel")
+				}
+			}
+			c.exprViolations(s.X, held)
+		}
+		c.scanStmts(s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.exprViolations(s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CaseClause)
+			for _, e := range clause.List {
+				c.exprViolations(e, held)
+			}
+			c.scanStmts(clause.Body, held.clone())
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, held)
+		}
+		c.scanStmt(s.Assign, held)
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CaseClause)
+			c.scanStmts(clause.Body, held.clone())
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			c.flag(s.Select, held, "selects on channels")
+		}
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			c.scanStmts(comm.Body, held.clone())
+		}
+	case *ast.LabeledStmt:
+		c.scanStmt(s.Stmt, held)
+	default:
+		c.exprViolations(s, held)
+	}
+}
+
+// exprViolations inspects a statement or expression (with locks held)
+// for blocking or re-entrant operations. Function literals are
+// skipped: they execute on their own schedule and are scanned as
+// separate functions.
+func (c *checker) exprViolations(n ast.Node, held heldSet) {
+	if n == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			c.flag(n.Arrow, held, "sends on a channel")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.flag(n.OpPos, held, "receives from a channel")
+			}
+		case *ast.CallExpr:
+			c.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+// checkCall classifies one call made under a lock.
+func (c *checker) checkCall(call *ast.CallExpr, held heldSet) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		c.checkCallee(call, c.pass.TypesInfo.Uses[fn], fn.Name, held)
+	case *ast.SelectorExpr:
+		var obj types.Object
+		if sel, ok := c.pass.TypesInfo.Selections[fn]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = c.pass.TypesInfo.Uses[fn.Sel] // package-qualified
+		}
+		c.checkCallee(call, obj, types.ExprString(fn), held)
+	}
+}
+
+func (c *checker) checkCallee(call *ast.CallExpr, obj types.Object, label string, held heldSet) {
+	switch obj := obj.(type) {
+	case nil, *types.Builtin, *types.TypeName, *types.Nil:
+		return
+	case *types.Func:
+		pkg := obj.Pkg()
+		if pkg == nil {
+			return
+		}
+		path, fname := pkg.Path(), obj.Name()
+		switch {
+		case path == "sync":
+			if fname == "Wait" {
+				c.flag(call.Pos(), held, "blocks on "+label)
+			}
+		case path == "time":
+			if fname == "Sleep" || fname == "After" || fname == "Tick" {
+				c.flag(call.Pos(), held, "calls time."+fname)
+			}
+		case ioPackages[path]:
+			c.flag(call.Pos(), held, "performs I/O ("+label+")")
+		case path == "fmt" && strings.HasPrefix(fname, "Fprint"):
+			c.flag(call.Pos(), held, "performs I/O (fmt."+fname+")")
+		default:
+			c.checkEngineCall(call, obj, held)
+		}
+	case *types.Var:
+		// Dynamic call: flag func-typed struct fields, parameters and
+		// package-level variables — the callback shapes whose bodies the
+		// lock holder cannot see. Locals assigned from those are missed;
+		// that is the documented precision limit.
+		if _, ok := obj.Type().Underlying().(*types.Signature); !ok {
+			return
+		}
+		switch {
+		case obj.IsField():
+			c.flag(call.Pos(), held, "invokes callback field "+label)
+		case c.params[obj]:
+			c.flag(call.Pos(), held, "invokes callback parameter "+label)
+		case obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope():
+			c.flag(call.Pos(), held, "invokes callback variable "+label)
+		}
+	}
+}
+
+// checkEngineCall flags calls to exported serve.Engine methods made
+// while holding a lock outside the engine's own methods: the engine
+// takes its own locks and drains in-flight work, so calling it under a
+// foreign lock nests two blocking domains.
+func (c *checker) checkEngineCall(call *ast.CallExpr, fn *types.Func, held heldSet) {
+	if c.inEngineMethod || !fn.Exported() {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isEngine(sig.Recv().Type()) {
+		return
+	}
+	c.flag(call.Pos(), held, "calls serve.Engine."+fn.Name())
+}
+
+// lockOp classifies a call as Lock/RLock, Unlock/RUnlock, or neither.
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+func (c *checker) lockOp(call *ast.CallExpr) (heldLock, lockOpKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return heldLock{}, opNone
+	}
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok {
+		return heldLock{}, opNone
+	}
+	m, ok := selection.Obj().(*types.Func)
+	if !ok || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return heldLock{}, opNone
+	}
+	info := heldLock{key: types.ExprString(sel.X), pos: call.Pos()}
+	switch m.Name() {
+	case "Lock", "RLock":
+		return info, opLock
+	case "Unlock", "RUnlock":
+		return info, opUnlock
+	}
+	return heldLock{}, opNone
+}
+
+// coarseLock reports whether the mutex being locked carries the
+// fhcvet:coarse marker on its declaration.
+func (c *checker) coarseLock(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := c.pass.TypesInfo.Selections[x]; ok {
+			return c.coarse[s.Obj()]
+		}
+		return c.coarse[c.pass.TypesInfo.Uses[x.Sel]]
+	case *ast.Ident:
+		return c.coarse[c.pass.TypesInfo.Uses[x]]
+	}
+	return false
+}
+
+func (c *checker) flag(pos token.Pos, held heldSet, what string) {
+	lock := held.one()
+	c.pass.Reportf(pos, "%s while holding %s (acquired at %s): blocking or re-entrant work under a lock stalls every contender",
+		what, lock.key, c.pass.Fset.Position(lock.pos))
+}

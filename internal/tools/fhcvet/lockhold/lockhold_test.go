@@ -1,0 +1,31 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/fhcvet/analysis/analysistest"
+	"repro/internal/tools/fhcvet/lockhold"
+)
+
+// guard temporarily adds a fixture path to the guarded package list.
+func guard(t *testing.T, paths ...string) {
+	t.Helper()
+	saved := lockhold.Packages
+	lockhold.Packages = append(append([]string{}, saved...), paths...)
+	t.Cleanup(func() { lockhold.Packages = saved })
+}
+
+func TestGuardedPackage(t *testing.T) {
+	guard(t, "a")
+	r := analysistest.Run(t, "testdata", lockhold.Analyzer, "a")
+	if len(r.Diagnostics) == 0 {
+		t.Fatal("expected diagnostics in guarded fixture")
+	}
+}
+
+func TestUnguardedPackageIsSkipped(t *testing.T) {
+	r := analysistest.Run(t, "testdata", lockhold.Analyzer, "z")
+	if len(r.Diagnostics) != 0 {
+		t.Fatalf("unguarded package must produce no diagnostics, got %v", r.Diagnostics)
+	}
+}

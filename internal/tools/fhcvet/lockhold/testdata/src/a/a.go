@@ -1,0 +1,154 @@
+package a
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"serve"
+)
+
+type worker struct {
+	mu sync.Mutex
+	// coarseMu exists to serialise slow maintenance; holding it across
+	// blocking work is its whole point.
+	//
+	// fhcvet:coarse
+	coarseMu sync.Mutex
+	rw       sync.RWMutex
+	ch       chan int
+	done     chan struct{}
+	hook     func()
+	wg       sync.WaitGroup
+}
+
+var Hook func()
+
+func (w *worker) badSend() {
+	w.mu.Lock()
+	w.ch <- 1 // want `sends on a channel while holding w\.mu`
+	w.mu.Unlock()
+}
+
+func (w *worker) badRecv() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	<-w.done // want `receives from a channel while holding w\.mu`
+}
+
+func (w *worker) badSleep() {
+	w.rw.RLock()
+	defer w.rw.RUnlock()
+	time.Sleep(time.Millisecond) // want `calls time\.Sleep while holding w\.rw`
+}
+
+func (w *worker) badIO(f *os.File) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fmt.Fprintf(f, "x") // want `performs I/O \(fmt\.Fprintf\)`
+}
+
+func (w *worker) badFileIO() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	os.ReadFile("x") // want `performs I/O \(os\.ReadFile\)`
+}
+
+func (w *worker) badFieldCallback() {
+	w.mu.Lock()
+	w.hook() // want `invokes callback field w\.hook`
+	w.mu.Unlock()
+}
+
+func (w *worker) badParamCallback(fn func() error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fn() // want `invokes callback parameter fn`
+}
+
+func (w *worker) badVarCallback() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	Hook() // want `invokes callback variable Hook`
+}
+
+func (w *worker) badEngine(e *serve.Engine) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e.Swap(nil) // want `calls serve\.Engine\.Swap while holding w\.mu`
+}
+
+func (w *worker) badSelect() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	select { // want `selects on channels while holding w\.mu`
+	case w.ch <- 1:
+	default:
+	}
+}
+
+func (w *worker) badRange() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for range w.ch { // want `ranges over a channel while holding w\.mu`
+	}
+}
+
+func (w *worker) badWait() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.wg.Wait() // want `blocks on w\.wg\.Wait while holding w\.mu`
+}
+
+func (w *worker) goodUnlockFirst() {
+	w.mu.Lock()
+	n := len(w.ch)
+	w.mu.Unlock()
+	w.ch <- n
+}
+
+func (w *worker) goodReleasingBranch() {
+	w.mu.Lock()
+	if cap(w.ch) > 0 {
+		w.mu.Unlock()
+		w.ch <- 1
+		return
+	}
+	w.mu.Unlock()
+}
+
+func (w *worker) goodCoarse() {
+	w.coarseMu.Lock()
+	defer w.coarseMu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+func (w *worker) goodGoroutine() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	go func() {
+		w.ch <- 1
+	}()
+}
+
+func (w *worker) goodLocalClosure() {
+	// The literal runs after goodLocalClosure returns (caller's
+	// schedule), so it is scanned as its own function: no lock held.
+	w.mu.Lock()
+	w.mu.Unlock()
+	f := func() { w.ch <- 1 }
+	f()
+}
+
+func (w *worker) suppressed() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.ch <- 1 //fhcvet:ignore lockhold buffered handoff sized to capacity, never blocks
+}
+
+func (w *worker) goodSprintfUnderLock() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return fmt.Sprintf("%d", len(w.ch))
+}

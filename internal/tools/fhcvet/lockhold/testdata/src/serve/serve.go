@@ -1,0 +1,9 @@
+package serve
+
+// Engine mirrors the real serving engine's exported surface so the
+// fixture can exercise the Engine-reentrance rule.
+type Engine struct{}
+
+func (e *Engine) Swap(v interface{}) {}
+
+func (e *Engine) Predict() int { return 0 }

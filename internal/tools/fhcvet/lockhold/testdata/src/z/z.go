@@ -1,0 +1,19 @@
+package z
+
+import (
+	"sync"
+	"time"
+)
+
+// z is not in lockhold.Packages: the same shape that fails in a
+// guarded package is ignored here.
+
+type quiet struct {
+	mu sync.Mutex
+}
+
+func (q *quiet) sleepy() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,236 @@
+// Package metricreg enforces the observability naming contract: every
+// metric registered on the metrics.Registry uses a compile-time
+// constant name matching ^fhc_[a-z0-9_]+$, and every *Vec registration
+// declares a literal, bounded label set (at most MaxLabels lowercase
+// label names, no slice spreads). Constant names keep the scrape
+// surface greppable and diffable; bounded literal label sets keep
+// series cardinality a code-review decision instead of a runtime
+// surprise.
+//
+// The per-package analyzer checks registration sites. The second half
+// of the contract — names referenced in OPERATIONS.md and the other
+// runbooks must exist in code — needs whole-repo sight and therefore
+// lives in cmd/fhcvet's standalone mode, which reuses CollectNames
+// (the syntactic collector in this package) plus mdscan to extract
+// fhc_* tokens from the docs.
+//
+// Concurrency contract: stateless; safe for sequential reuse.
+package metricreg
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/tools/fhcvet/analysis"
+)
+
+const name = "metricreg"
+
+// Analyzer checks metric registration sites for constant fhc_* names
+// and bounded literal label sets.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "check that metrics register literal fhc_* names with bounded literal label sets",
+	Run:  run,
+}
+
+// MaxLabels bounds a vector metric's label dimensions. Four is already
+// generous: the repo's widest metric uses two.
+const MaxLabels = 4
+
+// registerMethods maps each metrics.Registry registration method to
+// the argument index where label names start (-1: not a vector).
+var registerMethods = map[string]int{
+	"Counter": -1, "Gauge": -1, "Histogram": -1,
+	"CounterFunc": -1, "GaugeFunc": -1,
+	"CounterVec": 2, "GaugeVec": 2, "HistogramVec": 3,
+}
+
+var (
+	nameRx  = regexp.MustCompile(`^fhc_[a-z0-9_]+$`)
+	labelRx = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			labelStart, ok := registryCall(pass, call)
+			if !ok {
+				return true
+			}
+			checkName(pass, call)
+			if labelStart >= 0 {
+				checkLabels(pass, call, labelStart)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// registryCall reports whether call is a registration method on
+// metrics.Registry, returning the label-start index.
+func registryCall(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	labelStart, ok := registerMethods[sel.Sel.Name]
+	if !ok {
+		return 0, false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return 0, false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return 0, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return 0, false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return 0, false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || pkg.Name() != "metrics" {
+		return 0, false
+	}
+	return labelStart, true
+}
+
+// checkName requires the name argument to be a compile-time constant
+// matching the fhc_* pattern.
+func checkName(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	val, ok := constString(pass, arg)
+	if !ok {
+		pass.Reportf(arg.Pos(),
+			"metric name must be a compile-time constant string so the scrape surface is greppable; got %s",
+			types.ExprString(arg))
+		return
+	}
+	if !nameRx.MatchString(val) {
+		pass.Reportf(arg.Pos(),
+			"metric name %q must match ^fhc_[a-z0-9_]+$ (repository metric namespace)", val)
+	}
+}
+
+// checkLabels requires every label argument from labelStart on to be a
+// constant lowercase identifier, with no spread and at most MaxLabels
+// dimensions.
+func checkLabels(pass *analysis.Pass, call *ast.CallExpr, labelStart int) {
+	if call.Ellipsis.IsValid() {
+		pass.Reportf(call.Ellipsis,
+			"label set must be a literal list of label names, not a slice spread: cardinality must be reviewable at the call site")
+		return
+	}
+	if len(call.Args) <= labelStart {
+		return
+	}
+	labels := call.Args[labelStart:]
+	if len(labels) > MaxLabels {
+		pass.Reportf(labels[MaxLabels].Pos(),
+			"%d labels exceed the %d-label bound: every label multiplies series cardinality", len(labels), MaxLabels)
+	}
+	for _, l := range labels {
+		val, ok := constString(pass, l)
+		if !ok {
+			pass.Reportf(l.Pos(), "label name must be a compile-time constant string; got %s", types.ExprString(l))
+			continue
+		}
+		if !labelRx.MatchString(val) {
+			pass.Reportf(l.Pos(), "label name %q must match ^[a-z][a-z0-9_]*$", val)
+		}
+	}
+}
+
+// constString resolves an expression to its constant string value.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// CollectNames syntactically gathers the metric names a file registers
+// (method name in the registration table, first argument a string
+// literal) into names, mapping each to "histogram" or "metric".
+// Purely syntactic so cmd/fhcvet's standalone docs cross-check can
+// sweep the whole repository without type-checking it; the per-package
+// analyzer above is what guarantees the literals are really there.
+func CollectNames(f *ast.File, names map[string]string) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := registerMethods[sel.Sel.Name]; !ok {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok || len(lit.Value) < 2 {
+			return true
+		}
+		metric := strings.Trim(lit.Value, "`\"")
+		if !strings.HasPrefix(metric, "fhc_") {
+			return true
+		}
+		kind := "metric"
+		if strings.HasPrefix(sel.Sel.Name, "Histogram") {
+			kind = "histogram"
+		}
+		names[metric] = kind
+		return true
+	})
+}
+
+// KnownSeries reports whether token (an fhc_* word found in docs)
+// corresponds to a registered name: exactly, as a histogram-derived
+// series (_bucket/_sum/_count), as a wildcard family prefix
+// ("fhc_engine_*", scanned with the * stripped), or as a family stem
+// mentioned in prose ("the fhc_engine metrics").
+func KnownSeries(token string, names map[string]string) bool {
+	token = strings.TrimSuffix(strings.TrimSuffix(token, "*"), "_")
+	if _, ok := names[token]; ok {
+		return true
+	}
+	for metric, kind := range names {
+		if strings.HasPrefix(metric, token+"_") {
+			return true
+		}
+		if kind == "histogram" {
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if token == metric+suffix {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

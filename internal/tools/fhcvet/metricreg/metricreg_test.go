@@ -1,0 +1,66 @@
+package metricreg_test
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/tools/fhcvet/analysis/analysistest"
+	"repro/internal/tools/fhcvet/metricreg"
+)
+
+func TestRegistrationSites(t *testing.T) {
+	r := analysistest.Run(t, "testdata", metricreg.Analyzer, "a")
+	if len(r.Diagnostics) == 0 {
+		t.Fatal("expected diagnostics in metricreg fixture")
+	}
+}
+
+func TestCollectNames(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "testdata/src/a/a.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]string{}
+	metricreg.CollectNames(f, names)
+	for _, want := range []string{"fhc_good_total", "fhc_labeled_total", "fhc_latency_seconds"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("CollectNames missed %s; got %v", want, names)
+		}
+	}
+	if names["fhc_latency_seconds"] != "histogram" {
+		t.Errorf("fhc_latency_seconds should be a histogram, got %q", names["fhc_latency_seconds"])
+	}
+	if _, ok := names["whatever_name"]; ok {
+		t.Error("CollectNames must ignore non-fhc names on unrelated receivers")
+	}
+}
+
+func TestKnownSeries(t *testing.T) {
+	names := map[string]string{
+		"fhc_http_request_seconds": "histogram",
+		"fhc_engine_hits_total":    "metric",
+	}
+	for _, tok := range []string{
+		"fhc_engine_hits_total",           // exact
+		"fhc_http_request_seconds_bucket", // histogram-derived
+		"fhc_http_request_seconds_count",  // histogram-derived
+		"fhc_engine_*",                    // wildcard family
+		"fhc_engine",                      // family stem in prose
+		"fhc_*",                           // whole-namespace wildcard
+	} {
+		if !metricreg.KnownSeries(tok, names) {
+			t.Errorf("KnownSeries(%q) = false, want true", tok)
+		}
+	}
+	for _, tok := range []string{
+		"fhc_engine_misses_total",      // not registered
+		"fhc_engine_hits_total_bucket", // counter has no _bucket series
+		"fhc_retrain_runs_total",       // different family
+	} {
+		if metricreg.KnownSeries(tok, names) {
+			t.Errorf("KnownSeries(%q) = true, want false", tok)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package a
+
+import "metrics"
+
+const constName = "fhc_const_total"
+
+var dynamicName = "fhc_dynamic_total"
+var spreadLabels = []string{"class", "phase"}
+
+func register(r *metrics.Registry) {
+	r.Counter("fhc_good_total", "fine")
+	r.Counter(constName, "consts are compile-time too")
+	r.Gauge("fhc_depth", "fine")
+	r.Histogram("fhc_latency_seconds", "fine", nil)
+	r.CounterVec("fhc_labeled_total", "fine", "class", "phase")
+	r.HistogramVec("fhc_hist_seconds", "fine", nil, "class")
+
+	r.Counter("bad_name_total", "wrong prefix") // want `metric name "bad_name_total" must match`
+	r.Counter("fhc_Upper_total", "wrong case")  // want `metric name "fhc_Upper_total" must match`
+	r.Counter(dynamicName, "not constant")      // want `metric name must be a compile-time constant`
+
+	r.CounterVec("fhc_wide_total", "too wide", "a", "b", "c", "d", "e") // want `5 labels exceed the 4-label bound`
+	r.CounterVec("fhc_spread_total", "spread", spreadLabels...)         // want `label set must be a literal list`
+	r.HistogramVec("fhc_shape_seconds", "bad label", nil, "UPPER")      // want `label name "UPPER" must match`
+	r.GaugeVec("fhc_dyn_label", "dynamic label", dynamicName)           // want `label name must be a compile-time constant`
+}
+
+// other is not the metrics.Registry: same method names, no checks.
+type other struct{}
+
+func (o *other) Counter(name, help string) {}
+
+func unrelated(o *other) {
+	o.Counter("whatever_name", "not a registry")
+}

@@ -1,0 +1,203 @@
+// Package mdscan is the repository's shared markdown scanner: it
+// segments a markdown document into prose, fenced code blocks and
+// inline code spans so documentation gates can decide which regions a
+// check applies to. The docscheck link/anchor checks mask out code
+// (example snippets are not links); the docscheck -api and fhcvet
+// metricreg doc-rot gates scan code and prose alike, because code spans
+// are exactly where identifier and metric references live.
+//
+// The scanner is deliberately CommonMark-lite but hardened against the
+// shapes this repository's docs actually use: backtick and tilde
+// fences, fences indented inside list items, closing fences that must
+// match the opening run, and inline spans delimited by runs of one or
+// more backticks (a longer run closes only an equally long opener).
+//
+// Concurrency contract: all functions are pure; they are safe for
+// concurrent use.
+package mdscan
+
+import "strings"
+
+// Kind classifies one segment of a markdown document.
+type Kind int
+
+const (
+	// Prose is ordinary markdown text outside any code construct.
+	Prose Kind = iota
+	// Fence is a fenced code block, opening and closing fence lines
+	// included.
+	Fence
+	// Span is an inline code span, backtick delimiters included.
+	Span
+)
+
+// Segment is one contiguous byte range [Start, End) of the document.
+type Segment struct {
+	Kind       Kind
+	Start, End int
+}
+
+// fenceRun reports the fence character and run length opening at the
+// start of trimmed line content, or ok=false.
+func fenceRun(content string) (ch byte, n int, ok bool) {
+	if content == "" {
+		return 0, 0, false
+	}
+	c := content[0]
+	if c != '`' && c != '~' {
+		return 0, 0, false
+	}
+	i := 0
+	for i < len(content) && content[i] == c {
+		i++
+	}
+	if i < 3 {
+		return 0, 0, false
+	}
+	// A backtick fence's info string may not itself contain backticks
+	// (it would be an inline span, e.g. ``` in prose explaining fences).
+	if c == '`' && strings.IndexByte(content[i:], '`') >= 0 {
+		return 0, 0, false
+	}
+	return c, i, true
+}
+
+// Segments splits the document into an ordered, complete cover of
+// Prose, Fence and Span segments. Fences may be indented (list-nested
+// fences stay fences); a fence left unclosed runs to the end of the
+// document, matching how renderers display it.
+func Segments(doc string) []Segment {
+	var segs []Segment
+	add := func(k Kind, start, end int) {
+		if end <= start {
+			return
+		}
+		if n := len(segs); n > 0 && segs[n-1].Kind == k && segs[n-1].End == start {
+			segs[n-1].End = end
+			return
+		}
+		segs = append(segs, Segment{Kind: k, Start: start, End: end})
+	}
+
+	pos := 0
+	inFence := false
+	var fenceCh byte
+	var fenceN int
+	proseStart := -1 // start of the prose region spans are scanned in
+	flushProse := func(end int) {
+		if proseStart >= 0 {
+			spanScan(doc, proseStart, end, add)
+			proseStart = -1
+		}
+	}
+	for pos < len(doc) {
+		lineEnd := strings.IndexByte(doc[pos:], '\n')
+		if lineEnd < 0 {
+			lineEnd = len(doc)
+		} else {
+			lineEnd = pos + lineEnd + 1
+		}
+		line := doc[pos:lineEnd]
+		trimmed := strings.TrimLeft(line, " \t")
+		trimmed = strings.TrimRight(trimmed, "\r\n")
+		if inFence {
+			add(Fence, pos, lineEnd)
+			if ch, n, ok := fenceRun(trimmed); ok && ch == fenceCh && n >= fenceN &&
+				strings.Trim(trimmed, string(fenceCh)) == "" {
+				inFence = false
+			}
+		} else if ch, n, ok := fenceRun(trimmed); ok {
+			flushProse(pos)
+			add(Fence, pos, lineEnd)
+			inFence, fenceCh, fenceN = true, ch, n
+		} else {
+			if proseStart < 0 {
+				proseStart = pos
+			}
+		}
+		pos = lineEnd
+	}
+	flushProse(len(doc))
+	return segs
+}
+
+// spanScan splits doc[start:end) into Prose and inline-code Span
+// segments. A span opens with a run of N backticks and closes at the
+// next run of exactly N (CommonMark's rule, which is what lets docs
+// write “ `code with a ` inside` “); an unmatched opener is literal
+// prose. Spans may cross line breaks but never a fence (the caller
+// scans between fences).
+func spanScan(doc string, start, end int, add func(Kind, int, int)) {
+	region := doc[start:end]
+	i := 0
+	prose := 0
+	for i < len(region) {
+		j := strings.IndexByte(region[i:], '`')
+		if j < 0 {
+			break
+		}
+		open := i + j
+		n := 0
+		for open+n < len(region) && region[open+n] == '`' {
+			n++
+		}
+		// Find a closing run of exactly n backticks.
+		k := open + n
+		closeAt := -1
+		for k < len(region) {
+			m := strings.IndexByte(region[k:], '`')
+			if m < 0 {
+				break
+			}
+			runStart := k + m
+			runLen := 0
+			for runStart+runLen < len(region) && region[runStart+runLen] == '`' {
+				runLen++
+			}
+			if runLen == n {
+				closeAt = runStart + runLen
+				break
+			}
+			k = runStart + runLen
+		}
+		if closeAt < 0 {
+			i = open + n
+			continue
+		}
+		add(Prose, start+prose, start+open)
+		add(Span, start+open, start+closeAt)
+		prose = closeAt
+		i = closeAt
+	}
+	add(Prose, start+prose, end)
+}
+
+// Mask returns the document with every segment whose kind keep rejects
+// blanked to spaces, newlines preserved — offsets and line numbers in
+// the result match the original, so positions reported against the
+// masked text are directly usable.
+func Mask(doc string, keep func(Kind) bool) string {
+	b := []byte(doc)
+	for _, seg := range Segments(doc) {
+		if keep(seg.Kind) {
+			continue
+		}
+		for i := seg.Start; i < seg.End; i++ {
+			if b[i] != '\n' {
+				b[i] = ' '
+			}
+		}
+	}
+	return string(b)
+}
+
+// ProseOnly returns the document with fenced blocks and inline code
+// spans blanked — what link and anchor checks should scan.
+func ProseOnly(doc string) string {
+	return Mask(doc, func(k Kind) bool { return k == Prose })
+}
+
+// CodeAndProse returns the document unchanged; it exists to make call
+// sites state explicitly that a check scans code regions on purpose
+// (identifier and metric references rot inside examples first).
+func CodeAndProse(doc string) string { return doc }

@@ -1,0 +1,133 @@
+package mdscan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSegmentsCoverDocument(t *testing.T) {
+	doc := "prose `span` more\n```go\ncode\n```\ntail\n"
+	segs := Segments(doc)
+	pos := 0
+	for _, s := range segs {
+		if s.Start != pos {
+			t.Fatalf("segment gap: got start %d, want %d (%+v)", s.Start, pos, segs)
+		}
+		if s.End <= s.Start {
+			t.Fatalf("empty segment %+v", s)
+		}
+		pos = s.End
+	}
+	if pos != len(doc) {
+		t.Fatalf("segments cover %d bytes, document has %d", pos, len(doc))
+	}
+}
+
+func TestBacktickFenceMasked(t *testing.T) {
+	doc := "see [a](a.md)\n```sh\nx=$(cmd [not](a-link))\n```\n"
+	got := ProseOnly(doc)
+	if !strings.Contains(got, "[a](a.md)") {
+		t.Fatalf("prose link lost:\n%s", got)
+	}
+	if strings.Contains(got, "not") {
+		t.Fatalf("fenced content survived:\n%s", got)
+	}
+}
+
+func TestTildeFenceMasked(t *testing.T) {
+	doc := "prose\n~~~\n[fake](missing.md)\n~~~\nafter\n"
+	got := ProseOnly(doc)
+	if strings.Contains(got, "fake") {
+		t.Fatalf("~~~ fence content survived:\n%s", got)
+	}
+	if !strings.Contains(got, "after") {
+		t.Fatalf("prose after tilde fence lost:\n%s", got)
+	}
+}
+
+func TestIndentedFenceMasked(t *testing.T) {
+	doc := "- item\n  ```json\n  {\"k\": \"[v](w)\"}\n  ```\n- next [ok](ok.md)\n"
+	got := ProseOnly(doc)
+	if strings.Contains(got, "[v](w)") {
+		t.Fatalf("indented fence content survived:\n%s", got)
+	}
+	if !strings.Contains(got, "[ok](ok.md)") {
+		t.Fatalf("list prose after indented fence lost:\n%s", got)
+	}
+}
+
+func TestCloserMustMatchOpeningRun(t *testing.T) {
+	// A ``` line inside a ```` fence does not close it.
+	doc := "````\ninner\n```\nstill code [x](y)\n````\nout\n"
+	got := ProseOnly(doc)
+	if strings.Contains(got, "[x](y)") {
+		t.Fatalf("longer fence closed by shorter run:\n%s", got)
+	}
+	if !strings.Contains(got, "out") {
+		t.Fatalf("prose after fence lost:\n%s", got)
+	}
+}
+
+func TestUnclosedFenceRunsToEnd(t *testing.T) {
+	doc := "prose\n```\n[x](y) forever"
+	if got := ProseOnly(doc); strings.Contains(got, "[x](y)") {
+		t.Fatalf("unclosed fence content survived:\n%s", got)
+	}
+}
+
+func TestInlineSpanMasked(t *testing.T) {
+	doc := "run `go vet [not](a-link)` locally, then [real](real.md)\n"
+	got := ProseOnly(doc)
+	if strings.Contains(got, "[not](a-link)") {
+		t.Fatalf("inline span content survived:\n%s", got)
+	}
+	if !strings.Contains(got, "[real](real.md)") {
+		t.Fatalf("prose link lost:\n%s", got)
+	}
+}
+
+func TestSpanSpanningIdentifiers(t *testing.T) {
+	// Double-backtick span containing a single backtick, the CommonMark
+	// escape for identifiers with embedded backticks.
+	doc := "``fhc.New`Engine`` and `fhc.Swap` stay code; fhc.Close is prose\n"
+	got := ProseOnly(doc)
+	for _, code := range []string{"fhc.New", "fhc.Swap"} {
+		if strings.Contains(got, code) {
+			t.Fatalf("span content %q survived ProseOnly:\n%s", code, got)
+		}
+	}
+	if !strings.Contains(got, "fhc.Close") {
+		t.Fatalf("prose identifier lost:\n%s", got)
+	}
+}
+
+func TestUnmatchedBacktickIsProse(t *testing.T) {
+	doc := "a lone ` backtick and [link](x.md)\n"
+	if got := ProseOnly(doc); !strings.Contains(got, "[link](x.md)") {
+		t.Fatalf("unmatched backtick swallowed prose:\n%s", got)
+	}
+}
+
+func TestMaskPreservesOffsetsAndLines(t *testing.T) {
+	doc := "a\n```\ncode\n```\nb `c` d\n"
+	got := ProseOnly(doc)
+	if len(got) != len(doc) {
+		t.Fatalf("mask changed length: %d != %d", len(got), len(doc))
+	}
+	if strings.Count(got, "\n") != strings.Count(doc, "\n") {
+		t.Fatalf("mask changed line count")
+	}
+}
+
+func TestTripleBacktickProseMention(t *testing.T) {
+	// Prose explaining fences: an indented run with trailing text that
+	// contains backticks is an inline span, not a fence opener.
+	doc := "use ```three``` backticks, and [link](x.md)\n"
+	got := ProseOnly(doc)
+	if !strings.Contains(got, "[link](x.md)") {
+		t.Fatalf("inline triple-backtick span treated as fence:\n%s", got)
+	}
+	if strings.Contains(got, "three") {
+		t.Fatalf("span content survived:\n%s", got)
+	}
+}

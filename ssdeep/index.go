@@ -236,6 +236,8 @@ func (ix *Index) QueryGroupsPrepared(q Prepared, numGroups int, dist DistanceFun
 // visit feeds every candidate entry for q — gram-sharing entries in the
 // comparable block-size buckets plus exact-digest matches — to consider,
 // each at most once.
+//
+// fhc:hotpath
 func (ix *Index) visit(q Prepared, s *queryScratch, consider func(int32)) {
 	once := func(id int32) {
 		if s.stamp[id] == s.mark {
@@ -257,6 +259,8 @@ func (ix *Index) visit(q Prepared, s *queryScratch, consider func(int32)) {
 
 // collect feeds every entry sharing a gram with the query signature in
 // the given bucket to consider.
+//
+// fhc:hotpath
 func (ix *Index) collect(bs uint32, grams []uint32, consider func(int32)) {
 	bucket := ix.buckets[bs]
 	if bucket == nil {

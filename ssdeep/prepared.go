@@ -33,6 +33,8 @@ func (p Prepared) IsZero() bool {
 // ComparePrepared returns the 0–100 similarity of two prepared digests
 // under the supplied distance. It is equivalent to CompareDistance on the
 // originating digests.
+//
+// fhc:hotpath
 func ComparePrepared(a, b Prepared, dist DistanceFunc) int {
 	if a.IsZero() || b.IsZero() {
 		return 0
