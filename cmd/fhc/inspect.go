@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/extract"
 	"repro/ssdeep"
@@ -50,7 +51,7 @@ func cmdHash(args []string) error {
 func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	distName := fs.String("distance", "damerau-levenshtein",
-		"scoring distance: damerau-levenshtein, levenshtein or spamsum")
+		"scoring distance: damerau-levenshtein, levenshtein, spamsum, or a -dp oracle (damerau-levenshtein-dp, levenshtein-dp)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,16 +95,10 @@ func cmdCompare(args []string) error {
 }
 
 func pickDistance(name string) (ssdeep.DistanceFunc, error) {
-	switch name {
-	case "damerau-levenshtein", "dl", "":
-		return ssdeep.DistanceDL, nil
-	case "levenshtein":
-		return ssdeep.DistanceLevenshtein, nil
-	case "spamsum":
-		return ssdeep.DistanceSpamsum, nil
-	default:
-		return nil, fmt.Errorf("unknown distance %q", name)
+	if name == "dl" {
+		name = string(core.DistanceDL)
 	}
+	return core.DistanceName(name).Func()
 }
 
 // cmdStrings prints the printable-run view.

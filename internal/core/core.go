@@ -36,10 +36,20 @@ const UnknownLabel = "-1"
 type DistanceName string
 
 // Supported scoring distances. The paper specifies Damerau–Levenshtein.
+// The default names resolve to the bit-parallel implementations; the
+// "-dp" suffixed names select the dynamic-programming oracles they are
+// differentially tested against, kept reachable in production so any
+// deployment can cross-check the fast path bit for bit.
 const (
 	DistanceDL          DistanceName = "damerau-levenshtein"
 	DistanceLevenshtein DistanceName = "levenshtein"
 	DistanceSpamsum     DistanceName = "spamsum"
+	// DistanceDLOracle is the dynamic-programming Equation 1 recurrence
+	// behind DistanceDL — same distance, oracle implementation.
+	DistanceDLOracle DistanceName = "damerau-levenshtein-dp"
+	// DistanceLevenshteinOracle is the dynamic-programming row oracle
+	// behind DistanceLevenshtein.
+	DistanceLevenshteinOracle DistanceName = "levenshtein-dp"
 )
 
 // Func returns the ssdeep distance function for the name.
@@ -51,6 +61,10 @@ func (d DistanceName) Func() (ssdeep.DistanceFunc, error) {
 		return ssdeep.DistanceLevenshtein, nil
 	case DistanceSpamsum:
 		return ssdeep.DistanceSpamsum, nil
+	case DistanceDLOracle:
+		return ssdeep.DistanceDLOracle, nil
+	case DistanceLevenshteinOracle:
+		return ssdeep.DistanceLevenshteinOracle, nil
 	default:
 		return nil, fmt.Errorf("core: unknown distance %q", string(d))
 	}

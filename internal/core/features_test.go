@@ -37,7 +37,7 @@ func TestFeaturizeIndexedMatchesBruteForce(t *testing.T) {
 	samples, split := testData(t)
 	train := gather(samples, split.TrainIdx)
 	classes := classesOf(train)
-	for _, dn := range []DistanceName{DistanceDL, DistanceLevenshtein, DistanceSpamsum} {
+	for _, dn := range []DistanceName{DistanceDL, DistanceLevenshtein, DistanceSpamsum, DistanceDLOracle, DistanceLevenshteinOracle} {
 		dist, err := dn.Func()
 		if err != nil {
 			t.Fatal(err)
@@ -55,6 +55,41 @@ func TestFeaturizeIndexedMatchesBruteForce(t *testing.T) {
 				if indexed[j] != brute[j] {
 					t.Fatalf("distance %s sample %d column %d: indexed %v, brute force %v",
 						dn, i, j, indexed[j], brute[j])
+				}
+			}
+		}
+	}
+}
+
+// TestFeaturizeBitParallelMatchesDPOracle pins the fast-path contract of
+// this layer end to end: featurisation under the default bit-parallel
+// distances (over the compressed grouped index) is bit-identical to
+// featurisation under the retained dynamic-programming oracles.
+func TestFeaturizeBitParallelMatchesDPOracle(t *testing.T) {
+	samples, split := testData(t)
+	train := gather(samples, split.TrainIdx)
+	classes := classesOf(train)
+	pairs := []struct{ fast, oracle DistanceName }{
+		{DistanceDL, DistanceDLOracle},
+		{DistanceLevenshtein, DistanceLevenshteinOracle},
+	}
+	for _, pair := range pairs {
+		fast, err := pair.fast.Func()
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := pair.oracle.Func()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := buildProfiles(train, paperKinds, classes)
+		for i := range samples {
+			got := ps.featurize(&samples[i], fast)
+			want := ps.featurize(&samples[i], oracle)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("distance %s sample %d column %d: bit-parallel %v, DP oracle %v",
+						pair.fast, i, j, got[j], want[j])
 				}
 			}
 		}

@@ -5,15 +5,58 @@
 // Damerau–Levenshtein distance with an alphabet table, and the weighted
 // edit distance used by the original spamsum/ssdeep implementation.
 //
+// Levenshtein and OSA are bit-parallel whenever one input fits a machine
+// word (Myers 1999 for Levenshtein; Hyyrö 2003 for the OSA/Equation 1
+// recurrence): the dynamic-programming column is packed into two 64-bit
+// delta vectors and each text character costs a handful of word
+// operations instead of a row of cell updates. ssdeep signatures are at
+// most 64 characters, so fuzzy-digest comparison always takes this path.
+// The classic dynamic programs are retained as LevenshteinDP and OSADP —
+// the differential oracles the property and fuzz tests hold the
+// bit-parallel forms against — and as the fallback for longer inputs.
+//
 // All functions operate on raw bytes; fuzzy digests are base64 text so byte
 // granularity is exact.
 //
 // Concurrency contract: the distance functions are pure and safe to call
-// concurrently; each call allocates its own working rows.
+// concurrently; working vectors and rows are leased from internal
+// sync.Pools, so steady-state calls allocate nothing.
 package editdist
 
+import "sync"
+
+// wordBits is the longest pattern a single bit-parallel word covers.
+const wordBits = 64
+
+// peqTable is a pattern-match bit table: bits[c] has bit i set when
+// pattern[i] == c. Tables are pooled and cleared selectively (only the
+// pattern's own bytes) on release, so a lease touches O(len(pattern))
+// memory, not the whole table.
+type peqTable struct {
+	bits [256]uint64
+}
+
+var peqPool = sync.Pool{New: func() any { return new(peqTable) }}
+
+// intsPool recycles DP working rows for the dynamic-programming oracles;
+// every row a caller reads is initialised before use, so stale contents
+// are harmless.
+var intsPool = sync.Pool{New: func() any { return new([]int) }}
+
+// leaseInts returns a pooled []int of length n (contents arbitrary).
+func leaseInts(n int) *[]int {
+	p := intsPool.Get().(*[]int)
+	if cap(*p) < n {
+		*p = make([]int, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
 // Levenshtein returns the classic edit distance between a and b counting
-// insertions, deletions and substitutions, each with unit cost.
+// insertions, deletions and substitutions, each with unit cost. When
+// either string fits a machine word the bit-parallel Myers algorithm is
+// used; longer pairs fall back to LevenshteinDP.
 //
 // fhc:hotpath
 func Levenshtein(a, b string) int {
@@ -26,9 +69,78 @@ func Levenshtein(a, b string) int {
 	if len(b) == 0 {
 		return len(a)
 	}
+	// The pattern (bit-packed side) must fit one word; distances are
+	// symmetric, so pack the shorter string.
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	if len(a) <= wordBits {
+		return levenshteinBP(a, b)
+	}
+	return LevenshteinDP(a, b)
+}
+
+// levenshteinBP is Myers' bit-parallel Levenshtein: the DP column is two
+// delta vectors (VP/VN) advanced one word operation sequence per text
+// byte. len(p) must be in [1, wordBits].
+//
+// fhc:hotpath
+func levenshteinBP(p, t string) int {
+	m := len(p)
+	pe := peqPool.Get().(*peqTable)
+	for i := 0; i < m; i++ {
+		pe.bits[p[i]] |= 1 << uint(i)
+	}
+
+	vp := ^uint64(0) >> uint(wordBits-m)
+	vn := uint64(0)
+	top := uint64(1) << uint(m-1)
+	score := m
+	for i := 0; i < len(t); i++ {
+		pm := pe.bits[t[i]]
+		d0 := (((pm & vp) + vp) ^ vp) | pm | vn
+		hp := vn | ^(d0 | vp)
+		hn := d0 & vp
+		if hp&top != 0 {
+			score++
+		}
+		if hn&top != 0 {
+			score--
+		}
+		hp = hp<<1 | 1
+		hn <<= 1
+		vp = hn | ^(d0 | hp)
+		vn = d0 & hp
+	}
+
+	for i := 0; i < m; i++ {
+		pe.bits[p[i]] = 0
+	}
+	peqPool.Put(pe)
+	return score
+}
+
+// LevenshteinDP is the single-row dynamic program, retained as the
+// differential oracle for the bit-parallel path (reachable in production
+// via the "levenshtein-dp" distance name) and as the fallback for inputs
+// longer than a machine word.
+//
+// fhc:hotpath
+func LevenshteinDP(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
 	// Single-row dynamic program: prev holds row i-1 to the right of j and
 	// row i to the left, with diag carrying the overwritten d(i-1, j-1).
-	prev := make([]int, len(b)+1)
+	lease := leaseInts(len(b) + 1)
+	defer intsPool.Put(lease)
+	prev := *lease
 	for j := range prev {
 		prev[j] = j
 	}
@@ -59,8 +171,81 @@ func Levenshtein(a, b string) int {
 //	              d(i-1,j-1)+1[ai!=bj],
 //	              d(i-2,j-2)+1[ai!=bj]  if ai=b(j-1) and a(i-1)=bj )
 //
+// When either string fits a machine word the bit-parallel Hyyrö
+// algorithm is used; longer pairs fall back to OSADP.
+//
 // fhc:hotpath
 func OSA(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	if len(a) <= wordBits {
+		return osaBP(a, b)
+	}
+	return OSADP(a, b)
+}
+
+// osaBP is Hyyrö's bit-parallel restricted Damerau–Levenshtein (the
+// OSA-compatible extension of Myers' algorithm): a transposition vector
+// TR, derived from the previous column's D0 and pattern-match vector,
+// joins the usual match vector in D0. len(p) must be in [1, wordBits].
+//
+// fhc:hotpath
+func osaBP(p, t string) int {
+	m := len(p)
+	pe := peqPool.Get().(*peqTable)
+	for i := 0; i < m; i++ {
+		pe.bits[p[i]] |= 1 << uint(i)
+	}
+
+	vp := ^uint64(0) >> uint(wordBits-m)
+	vn := uint64(0)
+	d0 := uint64(0)
+	pmOld := uint64(0)
+	top := uint64(1) << uint(m-1)
+	score := m
+	for i := 0; i < len(t); i++ {
+		pm := pe.bits[t[i]]
+		tr := ((^d0 & pm) << 1) & pmOld
+		d0 = (((pm & vp) + vp) ^ vp) | pm | vn | tr
+		hp := vn | ^(d0 | vp)
+		hn := d0 & vp
+		if hp&top != 0 {
+			score++
+		}
+		if hn&top != 0 {
+			score--
+		}
+		hp = hp<<1 | 1
+		hn <<= 1
+		vp = hn | ^(d0 | hp)
+		vn = d0 & hp
+		pmOld = pm
+	}
+
+	for i := 0; i < m; i++ {
+		pe.bits[p[i]] = 0
+	}
+	peqPool.Put(pe)
+	return score
+}
+
+// OSADP is the three-row dynamic program for the Equation 1 recurrence,
+// retained as the differential oracle for the bit-parallel path
+// (reachable in production via the "damerau-levenshtein-dp" distance
+// name) and as the fallback for inputs longer than a machine word.
+//
+// fhc:hotpath
+func OSADP(a, b string) int {
 	if a == b {
 		return 0
 	}
@@ -72,9 +257,12 @@ func OSA(a, b string) int {
 		return la
 	}
 	// Three rolling rows: two-above, one-above, current.
-	row2 := make([]int, lb+1)
-	row1 := make([]int, lb+1)
-	row0 := make([]int, lb+1)
+	lease := leaseInts(3 * (lb + 1))
+	defer intsPool.Put(lease)
+	buf := *lease
+	row2 := buf[0 : lb+1]
+	row1 := buf[lb+1 : 2*(lb+1)]
+	row0 := buf[2*(lb+1):]
 	for j := 0; j <= lb; j++ {
 		row1[j] = j
 	}
@@ -118,19 +306,20 @@ func DamerauLevenshtein(a, b string) int {
 		return la
 	}
 	inf := la + lb
-	// h is the (la+2) x (lb+2) table with a sentinel row/column.
-	h := make([][]int, la+2)
-	for i := range h {
-		h[i] = make([]int, lb+2)
-	}
-	h[0][0] = inf
+	// h is the (la+2) x (lb+2) table with a sentinel row/column, carved
+	// row-major from one pooled buffer.
+	stride := lb + 2
+	lease := leaseInts((la + 2) * stride)
+	defer intsPool.Put(lease)
+	h := *lease
+	h[0] = inf
 	for i := 0; i <= la; i++ {
-		h[i+1][0] = inf
-		h[i+1][1] = i
+		h[(i+1)*stride] = inf
+		h[(i+1)*stride+1] = i
 	}
 	for j := 0; j <= lb; j++ {
-		h[0][j+1] = inf
-		h[1][j+1] = j
+		h[j+1] = inf
+		h[stride+j+1] = j
 	}
 	var da [256]int // last row where each byte value was seen in a
 	for i := 1; i <= la; i++ {
@@ -143,15 +332,15 @@ func DamerauLevenshtein(a, b string) int {
 				cost = 0
 				db = j
 			}
-			d := min3(h[i][j]+cost, h[i+1][j]+1, h[i][j+1]+1)
-			if t := h[i1][j1] + (i - i1 - 1) + 1 + (j - j1 - 1); t < d {
+			d := min3(h[i*stride+j]+cost, h[(i+1)*stride+j]+1, h[i*stride+j+1]+1)
+			if t := h[i1*stride+j1] + (i - i1 - 1) + 1 + (j - j1 - 1); t < d {
 				d = t
 			}
-			h[i+1][j+1] = d
+			h[(i+1)*stride+j+1] = d
 		}
 		da[a[i-1]] = i
 	}
-	return h[la+1][lb+1]
+	return h[(la+1)*stride+lb+1]
 }
 
 // SpamsumCosts are the edit-operation weights used by the original
@@ -187,9 +376,12 @@ func Weighted(a, b string, c Costs) int {
 	if lb == 0 {
 		return la * c.Delete
 	}
-	row2 := make([]int, lb+1)
-	row1 := make([]int, lb+1)
-	row0 := make([]int, lb+1)
+	lease := leaseInts(3 * (lb + 1))
+	defer intsPool.Put(lease)
+	buf := *lease
+	row2 := buf[0 : lb+1]
+	row1 := buf[lb+1 : 2*(lb+1)]
+	row0 := buf[2*(lb+1):]
 	for j := 0; j <= lb; j++ {
 		row1[j] = j * c.Insert
 	}

@@ -1,6 +1,7 @@
 package editdist
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -189,6 +190,96 @@ func TestLongInputs(t *testing.T) {
 	}
 }
 
+// digestAlphabet is the base64 alphabet ssdeep signatures draw from —
+// the deployment case the bit-parallel path exists for.
+const digestAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+// TestBitParallelMatchesDP holds the bit-parallel implementations to the
+// dynamic-programming oracles on adversarial fixed cases: empty strings,
+// transposition-heavy pairs, inputs at and beyond the 64-char word
+// boundary (where dispatch switches pattern or falls back to DP), and
+// digest-alphabet strings.
+func TestBitParallelMatchesDP(t *testing.T) {
+	long := strings.Repeat(digestAlphabet, 3) // 192 chars, beyond one word
+	cases := []struct{ a, b string }{
+		{"", ""},
+		{"", "a"},
+		{"a", ""},
+		{"ab", "ba"},
+		{"abcd", "badc"},
+		{"ca", "abc"},
+		{strings.Repeat("ab", 32), strings.Repeat("ba", 32)},   // 64 chars, all swaps
+		{strings.Repeat("ab", 33), strings.Repeat("ba", 33)},   // 66 chars, one side DP pattern
+		{digestAlphabet, digestAlphabet[1:] + "A"},             // exactly 64 vs 64
+		{digestAlphabet[:63], digestAlphabet},                  // 63 vs 64
+		{long, long[5:] + "XYZQW"},                             // both beyond a word
+		{digestAlphabet, long},                                 // short pattern, long text
+		{strings.Repeat("A", 64), strings.Repeat("A", 64)[1:]}, // degenerate runs
+		{"\x00\xff\x00\xff", "\xff\x00\xff\x00"},               // full byte range
+	}
+	for _, c := range cases {
+		if got, want := Levenshtein(c.a, c.b), LevenshteinDP(c.a, c.b); got != want {
+			t.Errorf("Levenshtein(%q,%q) = %d, DP oracle = %d", c.a, c.b, got, want)
+		}
+		if got, want := OSA(c.a, c.b), OSADP(c.a, c.b); got != want {
+			t.Errorf("OSA(%q,%q) = %d, DP oracle = %d", c.a, c.b, got, want)
+		}
+	}
+}
+
+// Property: the dispatching functions agree with the DP oracles on random
+// inputs, including lengths straddling the 64-char bit-parallel limit.
+func TestBitParallelMatchesDPProperty(t *testing.T) {
+	for _, n := range []int{8, 32, 64, 80, 150} {
+		n := n
+		t.Run("lev/"+strconv.Itoa(n), func(t *testing.T) {
+			f := func(a, b string) bool {
+				a, b = clamp(a, n), clamp(b, n)
+				return Levenshtein(a, b) == LevenshteinDP(a, b)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+				t.Error(err)
+			}
+		})
+		t.Run("osa/"+strconv.Itoa(n), func(t *testing.T) {
+			f := func(a, b string) bool {
+				a, b = clamp(a, n), clamp(b, n)
+				return OSA(a, b) == OSADP(a, b)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Property: transposition-heavy digest-alphabet strings (the worst case
+// for the TR vector) agree with the oracle.
+func TestBitParallelTranspositionHeavy(t *testing.T) {
+	f := func(seed uint32, swaps uint8) bool {
+		src := seed
+		next := func(n int) int {
+			src = src*1664525 + 1013904223
+			return int(src % uint32(n))
+		}
+		n := 8 + next(57) // 8..64 chars
+		a := make([]byte, n)
+		for i := range a {
+			a[i] = digestAlphabet[next(len(digestAlphabet))]
+		}
+		b := append([]byte(nil), a...)
+		for s := 0; s < int(swaps%16); s++ {
+			i := next(n - 1)
+			b[i], b[i+1] = b[i+1], b[i]
+		}
+		sa, sb := string(a), string(b)
+		return OSA(sa, sb) == OSADP(sa, sb) && Levenshtein(sa, sb) == LevenshteinDP(sa, sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
 func clamp(s string, n int) string {
 	if len(s) > n {
 		return s[:n]
@@ -218,5 +309,32 @@ func BenchmarkLevenshtein64(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Levenshtein(x, y)
+	}
+}
+
+func BenchmarkOSADP64(b *testing.B) {
+	x := strings.Repeat("ALirXpz3", 8)
+	y := strings.Repeat("ALirpXz4", 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		OSADP(x, y)
+	}
+}
+
+func BenchmarkLevenshteinDP64(b *testing.B) {
+	x := strings.Repeat("ALirXpz3", 8)
+	y := strings.Repeat("ALirpXz4", 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LevenshteinDP(x, y)
+	}
+}
+
+func BenchmarkDamerauLevenshtein64(b *testing.B) {
+	x := strings.Repeat("ALirXpz3", 8)
+	y := strings.Repeat("ALirpXz4", 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DamerauLevenshtein(x, y)
 	}
 }

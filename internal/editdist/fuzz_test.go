@@ -1,0 +1,34 @@
+package editdist
+
+import "testing"
+
+// FuzzBitParallelMatchesDP cross-checks the dispatching Levenshtein and
+// OSA (bit-parallel under 65 chars, DP beyond) against the dynamic
+// programs on arbitrary byte strings, and re-asserts the distance
+// ordering DL <= OSA <= Levenshtein on every input the fuzzer finds.
+func FuzzBitParallelMatchesDP(f *testing.F) {
+	f.Add("", "")
+	f.Add("ab", "ba")
+	f.Add("ca", "abc")
+	f.Add("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/", "/+9876543210zyxwvutsrqponmlkjihgfedcbaZYXWVUTSRQPONMLKJIHGFEDCBA")
+	f.Add("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", "aa")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 256 {
+			a = a[:256]
+		}
+		if len(b) > 256 {
+			b = b[:256]
+		}
+		lev, levDP := Levenshtein(a, b), LevenshteinDP(a, b)
+		if lev != levDP {
+			t.Fatalf("Levenshtein(%q,%q) = %d, DP oracle = %d", a, b, lev, levDP)
+		}
+		osa, osaDP := OSA(a, b), OSADP(a, b)
+		if osa != osaDP {
+			t.Fatalf("OSA(%q,%q) = %d, DP oracle = %d", a, b, osa, osaDP)
+		}
+		if dl := DamerauLevenshtein(a, b); dl > osa || osa > lev {
+			t.Fatalf("ordering violated for (%q,%q): DL=%d OSA=%d Lev=%d", a, b, dl, osa, lev)
+		}
+	})
+}

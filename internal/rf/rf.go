@@ -156,6 +156,13 @@ type Forest struct {
 	OOBScore float64
 	// Params echoes the training configuration.
 	Params Params
+
+	// flat is the inference-compiled form of Trees (see flatForest),
+	// built lazily on first prediction so the persistence format stays
+	// the pointer-tree JSON. It is derived state: excluded from
+	// marshalling and rebuilt after any load.
+	flat     *flatForest
+	flatOnce sync.Once
 }
 
 // Train fits a forest on X (rows are samples) with integer labels y in
@@ -332,10 +339,28 @@ func oobScore(f *Forest, X [][]float64, y []int, root *rng.Source) float64 {
 }
 
 // PredictProba returns the class-probability distribution for one sample:
-// the average of the leaf distributions across trees.
+// the average of the leaf distributions across trees. Inference runs on
+// the flattened forest (see flatForest); PredictProbaOracle retains the
+// pointer-walking form it is differentially tested against.
 //
 // fhc:hotpath
 func (f *Forest) PredictProba(x []float64) []float64 {
+	fl := f.flattened()
+	proba := make([]float64, f.NumClasses)
+	for t := range fl.trees {
+		fl.trees[t].accumulate(x, fl, proba)
+	}
+	inv := 1 / float64(len(f.Trees))
+	for i := range proba {
+		proba[i] *= inv
+	}
+	return proba
+}
+
+// PredictProbaOracle is the original pointer-walking inference, retained
+// as the differential oracle for the flattened path: same trees, same
+// accumulation order, bit-identical output.
+func (f *Forest) PredictProbaOracle(x []float64) []float64 {
 	proba := make([]float64, f.NumClasses)
 	for _, t := range f.Trees {
 		leaf := t.leaf(x)
@@ -362,17 +387,55 @@ func (f *Forest) Predict(x []float64) int {
 	return best
 }
 
+// batchChunk is the number of samples one batch-traversal task owns.
+// Within a chunk traversal is tree-major: every sample walks tree t
+// before any sample touches tree t+1, so one tree's node array stays
+// cache-resident while the whole chunk passes through it.
+const batchChunk = 64
+
 // PredictProbaBatch predicts distributions for many samples in parallel.
-// workers <= 0 selects GOMAXPROCS.
+// workers <= 0 selects GOMAXPROCS; the count is clamped to GOMAXPROCS and
+// to the number of chunks, so tiny batches do not pay for idle goroutine
+// spawns. Per sample the output is bit-identical to PredictProba.
 func (f *Forest) PredictProbaBatch(X [][]float64, workers int) [][]float64 {
+	fl := f.flattened()
 	out := make([][]float64, len(X))
-	par.Map(len(X), workers, func(i int) {
-		out[i] = f.PredictProba(X[i])
+	chunks := (len(X) + batchChunk - 1) / batchChunk
+	if maxProcs := runtime.GOMAXPROCS(0); workers <= 0 || workers > maxProcs {
+		workers = maxProcs
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	inv := 1 / float64(len(f.Trees))
+	par.Map(chunks, workers, func(c int) {
+		lo := c * batchChunk
+		hi := lo + batchChunk
+		if hi > len(X) {
+			hi = len(X)
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = make([]float64, f.NumClasses)
+		}
+		for t := range fl.trees {
+			tree := &fl.trees[t]
+			for i := lo; i < hi; i++ {
+				tree.accumulate(X[i], fl, out[i])
+			}
+		}
+		for i := lo; i < hi; i++ {
+			proba := out[i]
+			for j := range proba {
+				proba[j] *= inv
+			}
+		}
 	})
 	return out
 }
 
-// leaf walks the tree to the leaf owning x.
+// leaf walks the tree to the leaf owning x. This pointer-chasing walk is
+// the oracle form of flatTree.accumulate; training-time OOB scoring uses
+// it directly.
 //
 // fhc:hotpath
 func (t *Tree) leaf(x []float64) *Node {

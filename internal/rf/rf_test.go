@@ -392,7 +392,9 @@ func BenchmarkPredictProba(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	f.PredictProba(X[0]) // flatten outside the timed region
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.PredictProba(X[i%len(X)])
 	}

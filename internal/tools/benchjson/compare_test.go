@@ -1,0 +1,96 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+func report(results ...Result) Report {
+	return Report{Results: results}
+}
+
+func res(pkg, name string, ns, allocs float64) Result {
+	return Result{
+		Package: pkg, Name: name, Procs: 8, Iterations: 100,
+		Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs},
+	}
+}
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	old := report(res("p", "BenchmarkHot", 1000, 3))
+	cur := report(res("p", "BenchmarkHot", 1200, 3)) // +20% > 10%
+	regs, imps := compareReports(old, cur, compareConfig{threshold: 0.10})
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("want one ns/op regression, got regs=%v imps=%v", regs, imps)
+	}
+}
+
+func TestCompareToleratesNsWithinThreshold(t *testing.T) {
+	old := report(res("p", "BenchmarkHot", 1000, 3))
+	cur := report(res("p", "BenchmarkHot", 1090, 3)) // +9% < 10%
+	regs, _ := compareReports(old, cur, compareConfig{threshold: 0.10})
+	if len(regs) != 0 {
+		t.Fatalf("within-threshold drift flagged: %v", regs)
+	}
+}
+
+func TestCompareAnyAllocRegressionFails(t *testing.T) {
+	old := report(res("p", "BenchmarkHot", 1000, 0))
+	cur := report(res("p", "BenchmarkHot", 900, 1)) // faster but allocates
+	regs, _ := compareReports(old, cur, compareConfig{threshold: 0.10})
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("want one allocs/op regression, got %v", regs)
+	}
+}
+
+func TestCompareReportsImprovements(t *testing.T) {
+	old := report(res("p", "BenchmarkHot", 43000, 3))
+	cur := report(res("p", "BenchmarkHot", 700, 0))
+	regs, imps := compareReports(old, cur, compareConfig{threshold: 0.10})
+	if len(regs) != 0 || len(imps) != 2 {
+		t.Fatalf("want two improvements, got regs=%v imps=%v", regs, imps)
+	}
+}
+
+func TestCompareIgnoresUnsharedBenchmarks(t *testing.T) {
+	old := report(res("p", "BenchmarkRetired", 10, 0))
+	cur := report(res("p", "BenchmarkNew", 1e9, 100))
+	regs, imps := compareReports(old, cur, compareConfig{threshold: 0.10})
+	if len(regs) != 0 || len(imps) != 0 {
+		t.Fatalf("unshared benchmarks compared: regs=%v imps=%v", regs, imps)
+	}
+}
+
+func TestCompareGateAndSkipAllowlist(t *testing.T) {
+	old := report(
+		res("p", "BenchmarkWarm", 1000, 0),
+		res("p", "BenchmarkNoisy", 1000, 0),
+		res("q", "BenchmarkOther", 1000, 0),
+	)
+	cur := report(
+		res("p", "BenchmarkWarm", 5000, 0),
+		res("p", "BenchmarkNoisy", 5000, 0),
+		res("q", "BenchmarkOther", 5000, 0),
+	)
+	cfg := compareConfig{
+		threshold: 0.10,
+		gate:      regexp.MustCompile(`^p\.`),
+		skip:      regexp.MustCompile(`Noisy`),
+	}
+	regs, _ := compareReports(old, cur, cfg)
+	if len(regs) != 1 || regs[0].Key != "p.BenchmarkWarm-8" {
+		t.Fatalf("gate/skip allowlist wrong: %v", regs)
+	}
+}
+
+func TestCompareProcsDistinguished(t *testing.T) {
+	old := report(res("p", "BenchmarkHot", 1000, 0))
+	cur := Report{Results: []Result{{
+		Package: "p", Name: "BenchmarkHot", Procs: 4, Iterations: 100,
+		Metrics: map[string]float64{"ns/op": 9000, "allocs/op": 0},
+	}}}
+	regs, _ := compareReports(old, cur, compareConfig{threshold: 0.10})
+	if len(regs) != 0 {
+		t.Fatalf("different -cpu runs compared as one benchmark: %v", regs)
+	}
+}

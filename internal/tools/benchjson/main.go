@@ -5,6 +5,14 @@
 // iteration — the compile-and-run smoke configuration CI uses) or
 // parses a finished run from stdin with -stdin.
 //
+// With -compare OLD the command is the perf-trajectory gate: the fresh
+// results are diffed against the committed baseline artifact and the
+// exit status is non-zero when any gated benchmark's ns/op grew beyond
+// -threshold (default 10%) or its allocs/op grew at all. -gate
+// restricts the gate to an allowlist of package-qualified benchmark
+// names; -skip exempts names from it. Benchmarks present on only one
+// side never fail the gate, so adding or retiring benchmarks is free.
+//
 // Output shape: one record per benchmark line, carrying the package
 // ("pkg:" context lines), the benchmark's base name, the -cpu suffix,
 // iteration count, and every reported metric keyed by its unit
@@ -21,6 +29,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -48,6 +57,11 @@ func main() {
 	out := flag.String("o", "BENCH_fhc.json", "output path")
 	stdin := flag.Bool("stdin", false, "parse a finished `go test -bench` run from stdin instead of running one")
 	benchtime := flag.String("benchtime", "1x", "benchtime to run with (ignored with -stdin)")
+	benchRe := flag.String("bench", ".", "benchmark regexp to run (ignored with -stdin)")
+	compare := flag.String("compare", "", "baseline artifact to diff against; regressions fail the run")
+	threshold := flag.Float64("threshold", 0.10, "tolerated fractional ns/op increase in -compare mode")
+	gateExpr := flag.String("gate", "", "regexp allowlist of package-qualified benchmark names to gate (default: all shared)")
+	skipExpr := flag.String("skip", "", "regexp of package-qualified benchmark names exempt from the gate")
 	flag.Parse()
 
 	var (
@@ -57,8 +71,9 @@ func main() {
 	if *stdin {
 		raw, rerr := io.ReadAll(os.Stdin)
 		text, err = string(raw), rerr
+		*benchtime = "stdin" // the run chose its own benchtime; don't claim ours
 	} else {
-		text, err = runBenchmarks(*benchtime, flag.Args())
+		text, err = runBenchmarks(*benchRe, *benchtime, flag.Args())
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -86,17 +101,40 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: %d results -> %s\n", len(report.Results), *out)
+
+	if *compare != "" {
+		cfg := compareConfig{threshold: *threshold}
+		if *gateExpr != "" {
+			re, err := regexp.Compile(*gateExpr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: -gate: %v\n", err)
+				os.Exit(1)
+			}
+			cfg.gate = re
+		}
+		if *skipExpr != "" {
+			re, err := regexp.Compile(*skipExpr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: -skip: %v\n", err)
+				os.Exit(1)
+			}
+			cfg.skip = re
+		}
+		if !runCompare(*compare, report, cfg) {
+			os.Exit(1)
+		}
+	}
 }
 
 // runBenchmarks executes the benchmark smoke run and returns its
 // combined text output. A non-zero exit is an error — a benchmark that
 // cannot run once must fail the job, not silently vanish from the
 // artifact.
-func runBenchmarks(benchtime string, patterns []string) (string, error) {
+func runBenchmarks(benchRe, benchtime string, patterns []string) (string, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"test", "-short", "-run", "^$", "-bench", ".", "-benchtime", benchtime}, patterns...)
+	args := append([]string{"test", "-short", "-run", "^$", "-bench", benchRe, "-benchtime", benchtime}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()

@@ -35,10 +35,13 @@ type Index struct {
 	digests []Digest
 	// groups holds the owner-group id of each entry, NoGroup if none.
 	groups []int32
-	// buckets maps block size -> gram hash -> entry ids. For each entry
+	// buckets maps block size -> gram hash -> posting list. For each entry
 	// both signatures are indexed: Sig1 under its block size and Sig2
 	// under twice that, mirroring how comparison pairs signatures.
-	buckets map[uint32]map[uint32][]int32
+	// Posting lists are delta-encoded varints (see postings): entry ids
+	// are appended in ascending order, so most postings cost one byte
+	// instead of four and a bucket scan walks a dense byte run.
+	buckets map[uint32]map[uint32]*postings
 	// exact maps the normalised digest string to ids, covering identical
 	// digests whose signatures are too short to carry any 7-gram.
 	exact map[string][]int32
@@ -47,10 +50,56 @@ type Index struct {
 	scratchPool sync.Pool
 }
 
+// postings is one gram's compressed entry-id list: ascending ids stored
+// as uvarint deltas from the previous id (the first delta is taken from
+// -1, so id 0 encodes as 1). Appends come from AddGroup in strictly
+// ascending entry order, which both guarantees positive deltas and makes
+// same-entry deduplication a single comparison against last.
+type postings struct {
+	data []byte
+	last int32
+}
+
+// add appends id unless it is already the most recent posting (the same
+// entry posting the same gram hash twice within one signature).
+func (p *postings) add(id int32) {
+	if len(p.data) > 0 && p.last == id {
+		return
+	}
+	delta := uint32(id - p.last)
+	p.last = id
+	for delta >= 0x80 {
+		p.data = append(p.data, byte(delta)|0x80)
+		delta >>= 7
+	}
+	p.data = append(p.data, byte(delta))
+}
+
+// each streams the decoded entry ids to consider in ascending order. The
+// varint decode runs inline over the byte run — no scratch slice, no
+// allocation, one sequential scan.
+//
+// fhc:hotpath
+func (p *postings) each(consider func(int32)) {
+	cur := int32(-1)
+	var acc uint32
+	var shift uint
+	for _, b := range p.data {
+		acc |= uint32(b&0x7f) << shift
+		if b < 0x80 {
+			cur += int32(acc)
+			consider(cur)
+			acc, shift = 0, 0
+		} else {
+			shift += 7
+		}
+	}
+}
+
 // NewIndex returns an empty index.
 func NewIndex() *Index {
 	return &Index{
-		buckets: make(map[uint32]map[uint32][]int32),
+		buckets: make(map[uint32]map[uint32]*postings),
 		exact:   make(map[string][]int32),
 	}
 }
@@ -90,23 +139,26 @@ func (ix *Index) AddGroup(d Digest, group int) int {
 }
 
 // post adds every 7-gram hash of one prepared signature (as computed by
-// Prepare) to the bucket of size bs.
+// Prepare) to the bucket of size bs. One posting per distinct gram per
+// entry: ids only grow across calls, so a repeated gram hash within this
+// signature is exactly a list whose last posting is already id, and
+// postings.add drops it.
 func (ix *Index) post(bs uint32, grams []uint32, id int32) {
 	if len(grams) == 0 {
 		return
 	}
 	bucket := ix.buckets[bs]
 	if bucket == nil {
-		bucket = make(map[uint32][]int32)
+		bucket = make(map[uint32]*postings)
 		ix.buckets[bs] = bucket
 	}
-	seen := map[uint32]bool{}
 	for _, h := range grams {
-		if seen[h] {
-			continue // one posting per distinct gram per entry
+		pl := bucket[h]
+		if pl == nil {
+			pl = &postings{last: -1}
+			bucket[h] = pl
 		}
-		seen[h] = true
-		bucket[h] = append(bucket[h], id)
+		pl.add(id)
 	}
 }
 
@@ -258,7 +310,8 @@ func (ix *Index) visit(q Prepared, s *queryScratch, consider func(int32)) {
 }
 
 // collect feeds every entry sharing a gram with the query signature in
-// the given bucket to consider.
+// the given bucket to consider, decoding each compressed posting list in
+// one sequential pass.
 //
 // fhc:hotpath
 func (ix *Index) collect(bs uint32, grams []uint32, consider func(int32)) {
@@ -267,8 +320,8 @@ func (ix *Index) collect(bs uint32, grams []uint32, consider func(int32)) {
 		return
 	}
 	for _, h := range grams {
-		for _, id := range bucket[h] {
-			consider(id)
+		if pl := bucket[h]; pl != nil {
+			pl.each(consider)
 		}
 	}
 }

@@ -1,0 +1,110 @@
+package ssdeep
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPostingsRoundTrip encodes ascending id sequences (with the
+// same-id repeats post generates for duplicate grams) and asserts the
+// streaming decode returns exactly the deduplicated sequence.
+func TestPostingsRoundTrip(t *testing.T) {
+	cases := [][]int32{
+		{0},
+		{0, 0, 0},
+		{0, 1, 2, 3},
+		{5, 5, 9, 300, 300, 70000, 1 << 20},
+		{127, 128, 129}, // varint length boundary
+		{16383, 16384},
+	}
+	for _, ids := range cases {
+		p := &postings{last: -1}
+		var want []int32
+		for _, id := range ids {
+			p.add(id)
+			if len(want) == 0 || want[len(want)-1] != id {
+				want = append(want, id)
+			}
+		}
+		var got []int32
+		p.each(func(id int32) { got = append(got, id) })
+		if len(got) != len(want) {
+			t.Fatalf("ids %v: decoded %v, want %v", ids, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ids %v: decoded %v, want %v", ids, got, want)
+			}
+		}
+	}
+}
+
+// Property: arbitrary ascending sequences survive the delta-varint
+// round trip.
+func TestPostingsRoundTripProperty(t *testing.T) {
+	f := func(deltas []uint16, repeats uint8) bool {
+		p := &postings{last: -1}
+		var want []int32
+		id := int32(-1)
+		for i, d := range deltas {
+			id += int32(d)%1000 + 1 // strictly ascending
+			n := 1
+			if i%5 == int(repeats)%5 {
+				n = 3 // duplicate adds of the same id must collapse
+			}
+			for k := 0; k < n; k++ {
+				p.add(id)
+			}
+			want = append(want, id)
+		}
+		var got []int32
+		p.each(func(v int32) { got = append(got, v) })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPostingsCompression pins the space win the encoding exists for:
+// dense ascending ids cost about a byte each, against four for raw
+// int32 slices.
+func TestPostingsCompression(t *testing.T) {
+	p := &postings{last: -1}
+	const n = 1000
+	for id := int32(0); id < n; id++ {
+		p.add(id)
+	}
+	if len(p.data) > n+2 {
+		t.Fatalf("dense postings use %d bytes for %d ids, want ~1 byte/id", len(p.data), n)
+	}
+	decoded := 0
+	p.each(func(int32) { decoded++ })
+	if decoded != n {
+		t.Fatalf("decoded %d ids, want %d", decoded, n)
+	}
+}
+
+// BenchmarkPostingsDecode measures the streaming varint scan collect
+// runs per shared gram.
+func BenchmarkPostingsDecode(b *testing.B) {
+	p := &postings{last: -1}
+	for id := int32(0); id < 1000; id += 3 {
+		p.add(id)
+	}
+	var sink int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.each(func(id int32) { sink = id })
+	}
+	_ = sink
+}

@@ -404,6 +404,7 @@ func BenchmarkCompareSimilar(b *testing.B) {
 	d1, _ := HashBytes(base)
 	d2, _ := HashBytes(mut)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Compare(d1, d2)
 	}
@@ -420,6 +421,7 @@ func BenchmarkComparePrepared(b *testing.B) {
 	d2, _ := HashBytes(mut)
 	p1, p2 := Prepare(d1), Prepare(d2)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ComparePrepared(p1, p2, DistanceDL)
 	}
@@ -430,6 +432,7 @@ func BenchmarkCompareDissimilar(b *testing.B) {
 	d2, _ := HashBytes(corpus(37, 100000))
 	p1, p2 := Prepare(d1), Prepare(d2)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ComparePrepared(p1, p2, DistanceDL)
 	}
