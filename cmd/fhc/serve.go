@@ -52,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -124,6 +125,7 @@ func cmdServe(args []string) error {
 	httpAddr := fs.String("http", "", "also serve the HTTP API on this address (e.g. :8080)")
 	httpPaths := fs.Bool("http-paths", false, "allow HTTP classify requests naming server-local paths")
 	httpModels := fs.String("http-models", "", "confine HTTP model-swap artifact paths to this directory (empty allows any)")
+	httpSpill := fs.Int("http-spill", 0, "spill-buffer bound for streamed ingestion on both surfaces; binaries beyond it skip ELF structural features (0 = default)")
 	batch := fs.Int("batch", 0, "micro-batch window size (0 = engine default)")
 	latency := fs.Duration("latency", 0, "micro-batch latency bound (0 = engine default)")
 	workers := fs.Int("workers", 0, "concurrent batch executors (0 = engine default)")
@@ -237,11 +239,12 @@ func cmdServe(args []string) error {
 			return err
 		}
 		hs = httpserve.New(engine, httpserve.Options{
-			AllowPaths: *httpPaths,
-			ModelDir:   *httpModels,
-			Collector:  coll,
-			Retrainer:  rt,
-			Registry:   reg,
+			AllowPaths:    *httpPaths,
+			ModelDir:      *httpModels,
+			MaxSpillBytes: *httpSpill,
+			Collector:     coll,
+			Retrainer:     rt,
+			Registry:      reg,
 		})
 		httpErr = make(chan error, 1)
 		go func() { httpErr <- hs.Serve(ln) }()
@@ -363,12 +366,7 @@ func cmdServe(args []string) error {
 				}
 				continue
 			}
-			bin, err := eventBinary(&ev)
-			var sample dataset.Sample
-			var cached bool
-			if err == nil {
-				sample, cached, err = coll.Collect(ev.Exe, bin)
-			}
+			sample, cached, err := collectEvent(coll, &ev, *httpSpill)
 			if err != nil {
 				results = append(results, serveResult{JobID: ev.JobID,
 					Error: fmt.Sprintf("line %d: %v", lineNo, err)})
@@ -449,16 +447,26 @@ func loadModel(path string) (*core.Classifier, error) {
 	return core.LoadFile(path)
 }
 
-// eventBinary resolves an event's executable content.
-func eventBinary(ev *serveEvent) ([]byte, error) {
+// collectEvent streams an event's executable content into the shared
+// collector: path events stream straight off the filesystem and inline
+// base64 decodes through a streaming reader, so the stream loop gets
+// the same single-pass, O(1)-memory ingestion as the HTTP surface —
+// the binary is never materialised in full.
+func collectEvent(coll *collector.Collector, ev *serveEvent, maxSpill int) (dataset.Sample, bool, error) {
 	switch {
 	case ev.Path != "" && ev.BinaryB64 != "":
-		return nil, errors.New("event has both path and binary_b64")
+		return dataset.Sample{}, false, errors.New("event has both path and binary_b64")
 	case ev.Path != "":
-		return os.ReadFile(ev.Path)
+		f, err := os.Open(ev.Path)
+		if err != nil {
+			return dataset.Sample{}, false, err
+		}
+		defer f.Close()
+		return coll.CollectStream(ev.Exe, f, maxSpill)
 	case ev.BinaryB64 != "":
-		return base64.StdEncoding.DecodeString(ev.BinaryB64)
+		dec := base64.NewDecoder(base64.StdEncoding, strings.NewReader(ev.BinaryB64))
+		return coll.CollectStream(ev.Exe, dec, maxSpill)
 	default:
-		return nil, errors.New("event has neither path nor binary_b64")
+		return dataset.Sample{}, false, errors.New("event has neither path nor binary_b64")
 	}
 }

@@ -3,15 +3,19 @@
 // trained and wrapped in fhc.NewEngine, fhc.NewHTTPServer puts the
 // engine behind the versioned JSON API, and a plain net/http client
 // plays the role of the scheduler prolog: it submits binaries one at a
-// time and in batches, hot-swaps a retrained model through the API with
-// zero downtime, reads the Prometheus metrics the server exports, and
-// finally drains the server gracefully.
+// time and in batches, dedups re-submissions with the hash-first
+// protocol (probe by SHA-256, upload the body as a raw octet-stream
+// only when the server asks), hot-swaps a retrained model through the
+// API with zero downtime, reads the Prometheus metrics the server
+// exports, and finally drains the server gracefully.
 package main
 
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/base64"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -93,6 +97,41 @@ func main() {
 		Exe: "job-2", BinaryB64: base64.StdEncoding.EncodeToString(bin),
 	}, &pred)
 	fmt.Printf("duplicate submission: %s (extraction cached: %v)\n", pred.Label, pred.Cached)
+
+	// --- Hash-first: probe by digest, upload only when asked -----------
+	// A client that can hash locally never re-uploads a known binary:
+	// it probes with the SHA-256 the serving stack already keys every
+	// cache on, and only ships the body when the probe answers 404.
+	fresh := corpus.Samples[1].Binary
+	digest := sha256.Sum256(fresh)
+	probe := fhc.HTTPClassifyRequest{Exe: "probe-job", SHA256: hex.EncodeToString(digest[:])}
+	raw, err := json.Marshal(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := client.Post(base+"/v1/classify", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.Body.Close()
+	fmt.Printf("cold probe:           HTTP %d (needs_body — server has not seen it)\n", r.StatusCode)
+
+	// The body goes up as a raw octet-stream: no base64, no JSON
+	// envelope — the server hashes and featurises it off the wire.
+	r, err = client.Post(base+"/v1/classify?exe=probe-job", "application/octet-stream", bytes.NewReader(fresh))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&pred); err != nil {
+		log.Fatal(err)
+	}
+	r.Body.Close()
+	fmt.Printf("raw-stream upload:    %s (confidence %.2f)\n", pred.Label, pred.Confidence)
+
+	// The warm probe is now answered from the prediction cache with
+	// zero bytes of binary on the wire (and zero server allocations).
+	post("/v1/classify", probe, &pred)
+	fmt.Printf("warm probe:           %s (cached: %v, no body uploaded)\n", pred.Label, pred.Cached)
 
 	// --- A burst as one batch: fans into shared engine windows ---------
 	batch := fhc.HTTPBatchRequest{}

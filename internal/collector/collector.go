@@ -23,6 +23,7 @@ package collector
 
 import (
 	"fmt"
+	"io"
 	"sync/atomic"
 
 	"repro/internal/dataset"
@@ -94,6 +95,45 @@ func (c *Collector) Collect(exe string, bin []byte) (dataset.Sample, bool, error
 	stored := s
 	if winner, inserted := c.cache.Add(key, &stored); !inserted {
 		// Another hook extracted the same binary concurrently.
+		c.hits.Add(1)
+		out := *winner
+		out.Exe = exe
+		return out, true, nil
+	}
+	c.unique.Add(1)
+	return s, false, nil
+}
+
+// CollectStream ingests one observed execution whose binary content is
+// streamed out of r: the streaming form of Collect, extracting features
+// incrementally with O(1) memory (see dataset.FromReader; maxSpill
+// bounds the ELF spill buffer, <= 0 selecting the default). The content
+// key is the SHA-256 computed in the same single pass, so deduplication
+// costs no extra read. Unlike Collect, a repeated binary still pays
+// extraction — the key is only known once the stream has been consumed
+// — but it is recognised afterwards and reported cached, keeping the
+// Stats contract. Samples whose structural features were truncated by
+// the spill bound are returned but not cached, so a later request with
+// a higher bound (or the buffered path) can still produce the complete
+// sample.
+func (c *Collector) CollectStream(exe string, r io.Reader, maxSpill int) (dataset.Sample, bool, error) {
+	c.seen.Add(1)
+	s, info, err := dataset.FromReader("", "", exe, r, maxSpill)
+	if err != nil {
+		return dataset.Sample{}, false, fmt.Errorf("collector: %w", err)
+	}
+	key := serve.Key(s.SHA256)
+	if cached, ok := c.cache.Get(key); ok {
+		c.hits.Add(1)
+		out := *cached
+		out.Exe = exe
+		return out, true, nil
+	}
+	if !info.Complete {
+		return s, false, nil
+	}
+	stored := s
+	if winner, inserted := c.cache.Add(key, &stored); !inserted {
 		c.hits.Add(1)
 		out := *winner
 		out.Exe = exe

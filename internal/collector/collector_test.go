@@ -1,7 +1,9 @@
 package collector
 
 import (
+	"bytes"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -56,6 +58,75 @@ func TestCollectExtractsAndCaches(t *testing.T) {
 	stats := c.Stats()
 	if stats.Seen != 2 || stats.Unique != 1 || stats.CacheHits != 1 {
 		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestCollectStream(t *testing.T) {
+	bins := binaries(t, 2)
+	c := New(Options{})
+	s1, hit, err := c.CollectStream("a.out", bytes.NewReader(bins[0]), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first streamed collection reported a cache hit")
+	}
+	// The streamed sample must match the buffered path exactly.
+	want, err := dataset.FromBinary("", "", "a.out", bins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != want {
+		t.Fatalf("streamed sample differs from buffered:\n got %+v\nwant %+v", s1, want)
+	}
+	// Same content streamed again: recognised as cached, name updated.
+	s2, hit, err := c.CollectStream("renamed.bin", bytes.NewReader(bins[0]), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || s2.Exe != "renamed.bin" || s2.SHA256 != s1.SHA256 {
+		t.Fatalf("repeat stream: hit=%v sample=%+v", hit, s2)
+	}
+	// Streaming and buffered collection share one cache.
+	_, hit, err = c.Collect("a.out", bins[0])
+	if err != nil || !hit {
+		t.Fatalf("buffered collect after stream: hit=%v err=%v", hit, err)
+	}
+	if st := c.Stats(); st.Seen != 3 || st.Unique != 1 || st.CacheHits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Non-ELF streams are rejected.
+	if _, _, err := c.CollectStream("s.sh", strings.NewReader("#!/bin/sh\n"), 0); err == nil {
+		t.Fatal("script accepted")
+	}
+}
+
+func TestCollectStreamTruncatedNotCached(t *testing.T) {
+	bins := binaries(t, 1)
+	c := New(Options{})
+	s, hit, err := c.CollectStream("big", bytes.NewReader(bins[0]), len(bins[0])/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("truncated stream reported cached")
+	}
+	if s.Digests[dataset.FeatureFile].IsZero() {
+		t.Fatal("truncated stream lost the file digest")
+	}
+	if c.Known(bins[0]) {
+		t.Fatal("truncated sample was cached")
+	}
+	// A later full collection produces and caches the complete sample.
+	full, hit, err := c.CollectStream("big", bytes.NewReader(bins[0]), 0)
+	if err != nil || hit {
+		t.Fatalf("full re-stream: hit=%v err=%v", hit, err)
+	}
+	if full.Digests[dataset.FeatureSymbols].IsZero() {
+		t.Fatal("full re-stream missing symbols digest")
+	}
+	if !c.Known(bins[0]) {
+		t.Fatal("complete sample not cached")
 	}
 }
 

@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// chunkReader yields data in fixed-size reads to exercise chunk
+// boundaries inside the streaming featuriser.
+type chunkReader struct {
+	data []byte
+	size int
+}
+
+func (r *chunkReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := r.size
+	if n > len(r.data) {
+		n = len(r.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	n = copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestFromReaderMatchesFromBinary is the streaming-vs-buffered
+// featuriser differential over a whole synthetic corpus, including
+// stripped binaries, at several read-chunk sizes.
+func TestFromReaderMatchesFromBinary(t *testing.T) {
+	c, err := synth.Generate([]synth.ClassSpec{
+		{Name: "AppA", Samples: 4},
+		{Name: "AppS", Samples: 2},
+	}, synth.Options{Seed: 7, StrippedFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Samples {
+		src := &c.Samples[i]
+		want, err := FromBinary(src.Class, src.Version, src.Exe, src.Binary)
+		if err != nil {
+			t.Fatalf("FromBinary(%s): %v", src.Exe, err)
+		}
+		for _, size := range []int{1, 7, 4096, 1 << 20} {
+			got, info, err := FromReader(src.Class, src.Version, src.Exe,
+				&chunkReader{data: src.Binary, size: size}, 0)
+			if err != nil {
+				t.Fatalf("FromReader(%s, chunk %d): %v", src.Exe, size, err)
+			}
+			if !info.Complete {
+				t.Fatalf("FromReader(%s, chunk %d): unexpectedly truncated", src.Exe, size)
+			}
+			if info.Bytes != int64(len(src.Binary)) {
+				t.Fatalf("FromReader(%s): consumed %d bytes, want %d", src.Exe, info.Bytes, len(src.Binary))
+			}
+			if got != want {
+				t.Fatalf("FromReader(%s, chunk %d) mismatch:\n got %+v\nwant %+v", src.Exe, size, got, want)
+			}
+		}
+	}
+}
+
+// TestFromReaderSpillTruncation checks that an input exceeding the
+// spill bound still yields exact single-pass features, zero structural
+// digests and Complete=false.
+func TestFromReaderSpillTruncation(t *testing.T) {
+	samples, err := synth.GenerateOne(
+		synth.ClassSpec{Name: "Big", Samples: 1}, synth.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := samples[0].Binary
+	want, err := FromBinary("", "", "big", bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := FromReader("", "", "big", bytes.NewReader(bin), len(bin)/2)
+	if err != nil {
+		t.Fatalf("FromReader: %v", err)
+	}
+	if info.Complete {
+		t.Fatal("spill-exceeding input reported Complete")
+	}
+	if got.SHA256 != want.SHA256 {
+		t.Error("SHA256 differs under truncation")
+	}
+	if got.Digests[FeatureFile] != want.Digests[FeatureFile] {
+		t.Error("file digest differs under truncation")
+	}
+	if got.Digests[FeatureStrings] != want.Digests[FeatureStrings] {
+		t.Error("strings digest differs under truncation")
+	}
+	if !got.Digests[FeatureSymbols].IsZero() || !got.Digests[FeatureNeeded].IsZero() {
+		t.Error("structural digests present despite truncation")
+	}
+	// The exact spill bound must not truncate.
+	_, info, err = FromReader("", "", "big", bytes.NewReader(bin), len(bin))
+	if err != nil || !info.Complete {
+		t.Fatalf("exact-bound spill: complete=%v err=%v", info.Complete, err)
+	}
+}
+
+// TestFromReaderRejectsNonELF checks the early abort: the magic is
+// checked as soon as four bytes arrive and the rest stays unread.
+func TestFromReaderRejectsNonELF(t *testing.T) {
+	r := &chunkReader{data: []byte("#!/bin/sh\necho hello, much more script follows here"), size: 16}
+	if _, _, err := FromReader("", "", "x", r, 0); err == nil {
+		t.Fatal("FromReader accepted a shell script")
+	}
+	if len(r.data) == 0 {
+		t.Fatal("non-ELF stream was consumed to the end")
+	}
+	// Short and empty inputs are rejected, not hashed.
+	if _, _, err := FromReader("", "", "x", strings.NewReader("\x7fE"), 0); err == nil {
+		t.Fatal("FromReader accepted a 2-byte input")
+	}
+	if _, _, err := FromReader("", "", "x", strings.NewReader(""), 0); err == nil {
+		t.Fatal("FromReader accepted an empty input")
+	}
+}
+
+// TestFromReaderReadError propagates reader failures.
+func TestFromReaderReadError(t *testing.T) {
+	r := io.MultiReader(strings.NewReader("\x7fELF junk"), errorReader{})
+	if _, _, err := FromReader("", "", "x", r, 0); err == nil {
+		t.Fatal("read error not propagated")
+	}
+}
+
+type errorReader struct{}
+
+func (errorReader) Read([]byte) (int, error) { return 0, io.ErrUnexpectedEOF }
+
+// BenchmarkFromReader measures the streaming featuriser; the buffered
+// path is alongside for comparison.
+func BenchmarkFromReader(b *testing.B) {
+	samples, err := synth.GenerateOne(
+		synth.ClassSpec{Name: "B", Samples: 1}, synth.Options{Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin := samples[0].Binary
+	b.Run("streaming", func(b *testing.B) {
+		b.SetBytes(int64(len(bin)))
+		b.ReportAllocs()
+		r := bytes.NewReader(bin)
+		for i := 0; i < b.N; i++ {
+			r.Reset(bin)
+			if _, _, err := FromReader("", "", "x", r, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("buffered", func(b *testing.B) {
+		b.SetBytes(int64(len(bin)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := FromBinary("", "", "x", bin); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

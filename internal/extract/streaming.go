@@ -1,0 +1,140 @@
+package extract
+
+import "io"
+
+// newline is the run separator of the StringsText stream, shared so the
+// hot write path never materialises a fresh slice per run.
+var newline = []byte{'\n'}
+
+// StringStreamer is the incremental form of StringsText: bytes arrive in
+// chunks of any size via Write, and every confirmed printable run — at
+// least minLen consecutive printable characters — is forwarded to the
+// underlying writer followed by a newline, producing byte-for-byte the
+// stream StringsText(data, minLen) would build in memory.
+//
+// Memory use is O(minLen), not O(input): at most minLen-1 bytes of an
+// unconfirmed run are held back across chunk boundaries; once a run is
+// confirmed its bytes stream straight through. A fully printable input
+// therefore flows through without any buffering at all.
+//
+// Call Close after the final Write to flush a trailing run. Write errors
+// from the underlying writer are sticky and returned from every
+// subsequent call. A StringStreamer is not safe for concurrent use.
+type StringStreamer struct {
+	w      io.Writer
+	minLen int
+	// pending holds the first minLen-1 bytes of a run not yet known to
+	// reach minLen; it is dropped if the run ends early.
+	pending []byte
+	// confirmed marks that the current run reached minLen, so pending
+	// has been flushed and further printable bytes stream through.
+	confirmed bool
+	emitted   int64
+	err       error
+}
+
+// NewStringStreamer returns a streamer writing the StringsText stream of
+// everything written to it into w. A minLen of 0 selects
+// MinStringLength, as in Strings.
+func NewStringStreamer(w io.Writer, minLen int) *StringStreamer {
+	s := &StringStreamer{}
+	s.Reset(w, minLen)
+	return s
+}
+
+// Reset reinitialises the streamer for a new input and destination,
+// retaining internal capacity so pooled reuse does not allocate.
+func (s *StringStreamer) Reset(w io.Writer, minLen int) {
+	if minLen <= 0 {
+		minLen = MinStringLength
+	}
+	s.w = w
+	s.minLen = minLen
+	if cap(s.pending) < minLen-1 {
+		s.pending = make([]byte, 0, minLen-1)
+	}
+	s.pending = s.pending[:0]
+	s.confirmed = false
+	s.emitted = 0
+	s.err = nil
+}
+
+// Write scans p for printable runs, forwarding confirmed runs to the
+// underlying writer. It always reports len(p) consumed; a sticky
+// downstream error is returned once present.
+//
+// fhc:hotpath
+func (s *StringStreamer) Write(p []byte) (int, error) {
+	if s.err != nil {
+		return len(p), s.err
+	}
+	i := 0
+	for i < len(p) {
+		c := p[i]
+		if !printable(c) {
+			s.endRun()
+			i++
+			continue
+		}
+		if s.confirmed {
+			// Stream the whole printable span of this chunk at once.
+			j := i + 1
+			for j < len(p) && printable(p[j]) {
+				j++
+			}
+			s.emit(p[i:j])
+			i = j
+			continue
+		}
+		// Unconfirmed run: hold back bytes until it reaches minLen.
+		j := i
+		for j < len(p) && len(s.pending) < s.minLen-1 && printable(p[j]) {
+			s.pending = append(s.pending, p[j])
+			j++
+		}
+		if j < len(p) && printable(p[j]) {
+			// p[j] is the minLen-th byte: the run is confirmed. Flush
+			// the held-back prefix; the confirmed branch streams the
+			// rest of the span starting at p[j].
+			s.confirmed = true
+			s.emit(s.pending)
+			s.pending = s.pending[:0]
+		}
+		i = j
+	}
+	return len(p), s.err
+}
+
+// endRun terminates the current run: a confirmed run gets its newline,
+// an unconfirmed one is dropped, exactly as Strings skips short runs.
+func (s *StringStreamer) endRun() {
+	if s.confirmed {
+		s.emit(newline)
+		s.confirmed = false
+	}
+	s.pending = s.pending[:0]
+}
+
+func (s *StringStreamer) emit(b []byte) {
+	if s.err != nil || len(b) == 0 {
+		return
+	}
+	n, err := s.w.Write(b)
+	s.emitted += int64(n)
+	if err != nil {
+		s.err = err
+	}
+}
+
+// Close flushes a trailing confirmed run. The streamer stays inspectable
+// (Emitted) afterwards; Reset readies it for the next input.
+func (s *StringStreamer) Close() error {
+	s.endRun()
+	return s.err
+}
+
+// Emitted returns the number of bytes forwarded to the underlying
+// writer so far — after Close, the exact length of the StringsText
+// stream. Zero means the input had no qualifying runs, which callers
+// use to skip hashing an empty feature channel.
+func (s *StringStreamer) Emitted() int64 { return s.emitted }

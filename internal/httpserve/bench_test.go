@@ -3,7 +3,9 @@ package httpserve
 import (
 	"bytes"
 	"encoding/base64"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -59,6 +61,85 @@ func BenchmarkHTTPClassify(b *testing.B) {
 			resp.Body.Close()
 		}
 	})
+}
+
+// BenchmarkClassifyHTTPRawStream measures the raw octet-stream leg —
+// handler driven directly, no sockets — at two body sizes. The
+// acceptance gate for O(1)-memory ingestion is that B/op stays flat
+// from 1 MiB to 64 MiB: the body is featurised off the wire through
+// pooled fixed-size scratch, never materialised.
+func BenchmarkClassifyHTTPRawStream(b *testing.B) {
+	fixture(b)
+	for _, mib := range []int{1, 64} {
+		b.Run(fmt.Sprintf("%dMiB", mib), func(b *testing.B) {
+			engine := serve.New(fixRF, serve.Options{})
+			defer engine.Close()
+			// A small spill bound keeps per-request memory constant;
+			// binaries beyond it stream through on the single-pass
+			// features alone (see dataset.FromReader).
+			s := New(engine, Options{MaxSpillBytes: 64 << 10})
+			body := append(append([]byte{}, fixBins[0]...),
+				make([]byte, mib<<20-len(fixBins[0]))...)
+			req, err := http.NewRequest(http.MethodPost, "/v1/classify?exe=bench", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/octet-stream")
+			rb := &replayBody{data: body}
+			req.Body = rb
+			req.ContentLength = int64(len(body))
+			w := &nullResponseWriter{h: make(http.Header, 4)}
+			h := s.Handler()
+			b.SetBytes(int64(len(body)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rb.off = 0
+				w.code = 0
+				h.ServeHTTP(w, req)
+				if w.code != http.StatusOK {
+					b.Fatalf("status %d", w.code)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClassifyHTTPHashFirstWarm measures the hash-first fast path
+// on a prediction-cache hit: routing, instrumentation, prefix scan,
+// cache lookup and hand-rendered response. The gate holds it at zero
+// allocations per request.
+func BenchmarkClassifyHTTPHashFirstWarm(b *testing.B) {
+	fixture(b)
+	engine := serve.New(fixRF, serve.Options{})
+	defer engine.Close()
+	s := New(engine, Options{})
+	sample := fixSamples[0]
+	engine.Classify(&sample)
+	key, ok := serve.SampleKey(&sample)
+	if !ok {
+		b.Fatal("fixture sample has no key")
+	}
+	rb := &replayBody{data: []byte(`{"exe":"bench","sha256":"` + hex.EncodeToString(key[:]) + `"}`)}
+	req, err := http.NewRequest(http.MethodPost, "/v1/classify", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Body = rb
+	req.ContentLength = int64(len(rb.data))
+	w := &nullResponseWriter{h: make(http.Header, 4)}
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.off = 0
+		w.code = 0
+		h.ServeHTTP(w, req)
+		if w.code != http.StatusOK {
+			b.Fatalf("status %d", w.code)
+		}
+	}
 }
 
 // BenchmarkEngineClassify is the in-process baseline for

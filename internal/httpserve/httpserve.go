@@ -5,7 +5,7 @@
 // exposes the serving engine (internal/serve) over HTTP with a small,
 // versioned JSON API:
 //
-//	POST /v1/classify        classify one binary
+//	POST /v1/classify        classify one binary (JSON, raw stream, or hash-first)
 //	POST /v1/classify/batch  classify many binaries in one engine window
 //	POST /v1/model/swap      hot-swap a persisted model artifact
 //	POST /v1/retrain         kick a continuous-learning cycle (wait optional)
@@ -13,6 +13,20 @@
 //	GET  /healthz            liveness
 //	GET  /readyz             readiness (503 while shutting down)
 //	GET  /metrics            Prometheus text exposition
+//
+// The classify route speaks three protocols, cheapest first:
+//
+//   - hash-first: the client POSTs {"sha256":"<hex>"} alone; the server
+//     answers from the engine's prediction cache or replies 404
+//     {"error":"needs_body"}, so at production duplicate rates most
+//     requests never ship a binary. The warm hit is allocation-free.
+//   - raw streaming: Content-Type application/octet-stream with the
+//     binary as the body (?exe=name names it). The body is featurised
+//     off the wire — SHA-256, the file digest and the strings digest in
+//     one pass with O(1) memory — never materialised.
+//   - inline JSON: {"binary_b64":...} (or {"path":...} where allowed),
+//     decoded through a streaming base64 reader into the same
+//     featuriser rather than into a second in-memory copy.
 //
 // With Options.Retrainer configured the classify routes also feed the
 // continuous-learning loop: every confident prediction is offered to
@@ -37,18 +51,23 @@
 package httpserve
 
 import (
+	"bytes"
 	"context"
 	"encoding/base64"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -66,6 +85,14 @@ type Options struct {
 	// MaxBodyBytes caps a request body; larger requests are answered
 	// 413. Default 64 MiB (inline base64 binaries are large).
 	MaxBodyBytes int64
+	// MaxSpillBytes bounds the spill buffer the streaming classify legs
+	// keep for ELF structural parsing (symbols, DT_NEEDED): bodies that
+	// fit are featurised bit-identically to the buffered path, larger
+	// ones stream through with the structural digests left zero (see
+	// dataset.FromReader). Default: MaxBodyBytes, so no feature is ever
+	// lost; lower it to trade symbol features on huge binaries for a
+	// smaller per-slot memory bound.
+	MaxSpillBytes int
 	// MaxConcurrent bounds concurrently executing classification and
 	// swap requests; excess requests are answered 429 immediately —
 	// backpressure the submitting prolog can retry against. Health and
@@ -110,6 +137,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes == 0 {
 		o.MaxBodyBytes = 64 << 20
 	}
+	if o.MaxSpillBytes <= 0 {
+		o.MaxSpillBytes = int(o.MaxBodyBytes)
+	}
 	if o.MaxConcurrent == 0 {
 		o.MaxConcurrent = 8 * runtime.GOMAXPROCS(0)
 	}
@@ -141,11 +171,13 @@ type Server struct {
 	// httpSrv is built in New, not Serve, so a Shutdown that races a
 	// Serve still wins: net/http remembers the shutdown and a later
 	// Serve returns ErrServerClosed instead of silently running on.
-	httpSrv  *http.Server
-	requests *metrics.CounterVec
-	latency  *metrics.HistogramVec
-	inFlight *metrics.Gauge
-	swapErrs *metrics.Counter
+	httpSrv       *http.Server
+	requests      *metrics.CounterVec
+	latency       *metrics.HistogramVec
+	reqBytes      *metrics.HistogramVec
+	inFlight      *metrics.Gauge
+	swapErrs      *metrics.Counter
+	hashFirstHits *metrics.Counter
 }
 
 // New builds a Server over an engine. The caller keeps ownership of the
@@ -190,9 +222,14 @@ func (s *Server) registerMetrics() {
 		"HTTP requests by route and status code.", "route", "code")
 	s.latency = reg.HistogramVec("fhc_http_request_seconds",
 		"HTTP request latency by route.", nil, "route")
+	s.reqBytes = reg.HistogramVec("fhc_http_request_bytes",
+		"HTTP request body size in bytes by route, as declared by Content-Length.",
+		[]float64{256, 4096, 65536, 1 << 20, 16 << 20, 64 << 20}, "route")
 	s.inFlight = reg.Gauge("fhc_http_in_flight", "HTTP requests currently executing.")
 	s.swapErrs = reg.Counter("fhc_http_swap_failures_total",
 		"Model-swap requests that failed to load or install an artifact.")
+	s.hashFirstHits = reg.Counter("fhc_classify_hash_first_hits_total",
+		"Hash-first classify probes answered from the prediction cache without a body upload.")
 
 	// One engine/collector snapshot per scrape, captured by a
 	// BeforeWrite hook: every series in a single exposition then agrees
@@ -286,13 +323,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // ----- request/response wire types -------------------------------------
 
-// ClassifyRequest names one binary: content inline (base64) or — when
-// the server allows it — by server-local path. Exe is the submitted
-// executable name, used for per-item error reporting only.
+// ClassifyRequest names one binary: content inline (base64), by
+// server-local path where the server allows it, or — the hash-first
+// protocol — by SHA-256 alone. Exe is the submitted executable name,
+// used for response echo and per-item error reporting only.
 type ClassifyRequest struct {
 	Exe       string `json:"exe,omitempty"`
 	Path      string `json:"path,omitempty"`
 	BinaryB64 string `json:"binary_b64,omitempty"`
+	// SHA256 is the lowercase-hex SHA-256 of the binary, sent without
+	// content: the server answers from its prediction cache, or 404
+	// {"error":"needs_body"} telling the client to upload the binary.
+	// It cannot be combined with path or binary_b64.
+	SHA256 string `json:"sha256,omitempty"`
 }
 
 // ClassifyResponse is one prediction. Cached reports an extraction-cache
@@ -351,17 +394,68 @@ type errorResponse struct {
 
 // ----- middleware -------------------------------------------------------
 
-// instrument wraps a handler with method filtering, body limits,
-// saturation backpressure and per-route metrics.
+// routeInstruments holds one route's metric children, resolved once at
+// registration so the per-request path touches no label rendering: a
+// child lookup is a map probe and an atomic add.
+type routeInstruments struct {
+	latency *metrics.Histogram
+	bytes   *metrics.Histogram
+	codes   map[int]*metrics.Counter
+}
+
+// instrumentCodes are the status codes the handlers actually emit;
+// their counter children are precomputed per route. Anything else falls
+// back to the (allocating) labelled lookup.
+var instrumentCodes = []int{
+	http.StatusOK, http.StatusAccepted,
+	http.StatusBadRequest, http.StatusNotFound, http.StatusMethodNotAllowed,
+	http.StatusRequestEntityTooLarge, http.StatusUnprocessableEntity,
+	http.StatusTooManyRequests,
+	http.StatusInternalServerError, http.StatusServiceUnavailable,
+}
+
+// statusText renders a status code without fmt; codes outside the
+// precomputed set take the strconv path.
+func statusText(code int) string {
+	return strconv.Itoa(code)
+}
+
+// recPool recycles status recorders so instrumentation allocates
+// nothing per request.
+var recPool = sync.Pool{New: func() any { return new(statusRecorder) }}
+
+// instrument wraps a handler with method filtering, saturation
+// backpressure and per-route metrics. Body limiting is the handler's
+// job (http.MaxBytesReader per leg): the hash-first classify fast path
+// reads through a bounded pooled buffer instead, and wrapping the body
+// here would put an allocation on its zero-allocation request path.
 func (s *Server) instrument(route, method string, limited bool, h http.HandlerFunc) http.Handler {
+	ri := &routeInstruments{
+		latency: s.latency.With(route),
+		bytes:   s.reqBytes.With(route),
+		codes:   make(map[int]*metrics.Counter, len(instrumentCodes)),
+	}
+	for _, code := range instrumentCodes {
+		ri.codes[code] = s.requests.With(route, statusText(code))
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		rec := recPool.Get().(*statusRecorder)
+		rec.ResponseWriter, rec.code = w, http.StatusOK
 		s.inFlight.Add(1)
 		defer func() {
 			s.inFlight.Add(-1)
-			s.requests.With(route, fmt.Sprintf("%d", rec.code)).Inc()
-			s.latency.With(route).Observe(time.Since(start).Seconds())
+			if c, ok := ri.codes[rec.code]; ok {
+				c.Inc()
+			} else {
+				s.requests.With(route, statusText(rec.code)).Inc()
+			}
+			ri.latency.Observe(time.Since(start).Seconds())
+			if r.ContentLength >= 0 {
+				ri.bytes.Observe(float64(r.ContentLength))
+			}
+			rec.ResponseWriter = nil
+			recPool.Put(rec)
 		}()
 
 		if r.Method != method {
@@ -369,18 +463,15 @@ func (s *Server) instrument(route, method string, limited bool, h http.HandlerFu
 			writeJSON(rec, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
 			return
 		}
-		if limited {
-			if s.sem != nil {
-				select {
-				case s.sem <- struct{}{}:
-					defer func() { <-s.sem }()
-				default:
-					writeJSON(rec, http.StatusTooManyRequests,
-						errorResponse{Error: "server saturated; retry with backoff"})
-					return
-				}
+		if limited && s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				writeJSON(rec, http.StatusTooManyRequests,
+					errorResponse{Error: "server saturated; retry with backoff"})
+				return
 			}
-			r.Body = http.MaxBytesReader(rec, r.Body, s.opt.MaxBodyBytes)
 		}
 		h(rec, r)
 	})
@@ -403,73 +494,430 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// decodeJSON reads a limited request body, mapping an exceeded body
+// decodeJSON reads a size-limited request body, mapping an exceeded
 // limit to 413 and malformed JSON to 400. It reports whether decoding
 // succeeded; on failure the response has been written.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	err := json.NewDecoder(r.Body).Decode(v)
-	if err == nil {
-		return true
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		writeDecodeError(w, err)
+		return false
 	}
+	return true
+}
+
+// writeDecodeError maps a JSON decode failure onto the wire: 413 when
+// the body limit tripped, 400 otherwise.
+func writeDecodeError(w http.ResponseWriter, err error) {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
 		writeJSON(w, http.StatusRequestEntityTooLarge,
 			errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
-		return false
+		return
 	}
 	writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request: %v", err)})
-	return false
 }
 
 // ----- handlers ---------------------------------------------------------
 
-// resolveBinary returns the request's executable content.
-func (s *Server) resolveBinary(req *ClassifyRequest) ([]byte, error) {
+// collectFromRequest streams the request's executable content into the
+// collector's featuriser. Inline base64 decodes through a streaming
+// reader — the binary is never materialised as a second in-memory copy
+// — and path requests stream straight off the filesystem. On failure
+// code is the HTTP status to answer: 400 for request-shape problems
+// (missing content, disabled paths, corrupt base64), 422 when a
+// well-formed body failed feature extraction.
+func (s *Server) collectFromRequest(req *ClassifyRequest) (sample dataset.Sample, cached bool, code int, err error) {
 	switch {
 	case req.Path != "" && req.BinaryB64 != "":
-		return nil, errors.New("request has both path and binary_b64")
+		return sample, false, http.StatusBadRequest, errors.New("request has both path and binary_b64")
 	case req.BinaryB64 != "":
-		bin, err := base64.StdEncoding.DecodeString(req.BinaryB64)
+		dec := base64.NewDecoder(base64.StdEncoding, strings.NewReader(req.BinaryB64))
+		sample, cached, err = s.opt.Collector.CollectStream(req.Exe, dec, s.opt.MaxSpillBytes)
 		if err != nil {
-			return nil, fmt.Errorf("binary_b64: %w", err)
+			var corrupt base64.CorruptInputError
+			if errors.As(err, &corrupt) {
+				return sample, false, http.StatusBadRequest, fmt.Errorf("binary_b64: %w", corrupt)
+			}
+			return sample, false, http.StatusUnprocessableEntity, fmt.Errorf("collect: %w", err)
 		}
-		return bin, nil
+		return sample, cached, 0, nil
 	case req.Path != "":
 		if !s.opt.AllowPaths {
-			return nil, errors.New("path requests are disabled on this server (send binary_b64)")
+			return sample, false, http.StatusBadRequest, errors.New("path requests are disabled on this server (send binary_b64)")
 		}
-		bin, err := os.ReadFile(req.Path)
+		f, err := os.Open(req.Path)
 		if err != nil {
-			return nil, fmt.Errorf("path: %w", err)
+			return sample, false, http.StatusBadRequest, fmt.Errorf("path: %w", err)
 		}
-		return bin, nil
+		defer f.Close()
+		sample, cached, err = s.opt.Collector.CollectStream(req.Exe, f, s.opt.MaxSpillBytes)
+		if err != nil {
+			return sample, false, http.StatusUnprocessableEntity, fmt.Errorf("collect: %w", err)
+		}
+		return sample, cached, 0, nil
 	default:
-		return nil, errors.New("request has neither path nor binary_b64")
+		return sample, false, http.StatusBadRequest, errors.New("request has neither path nor binary_b64")
 	}
 }
 
+// octetStream is the Content-Type selecting the raw streaming leg.
+const octetStream = "application/octet-stream"
+
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	var req ClassifyRequest
-	if !decodeJSON(w, r, &req) {
+	ct := r.Header.Get("Content-Type")
+	if ct == octetStream || strings.HasPrefix(ct, octetStream+";") {
+		s.handleClassifyRaw(w, r)
 		return
 	}
-	bin, err := s.resolveBinary(&req)
+	s.handleClassifyJSON(w, r)
+}
+
+// handleClassifyRaw is the raw streaming leg: the body is the binary,
+// fed straight off the wire into the single-pass featuriser — no
+// base64, no io.ReadAll, O(1) memory however large the executable. The
+// submitted name rides the ?exe= query parameter.
+//
+// fhc:hotpath
+func (s *Server) handleClassifyRaw(w http.ResponseWriter, r *http.Request) {
+	exe := r.URL.Query().Get("exe")
+	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+	sample, cached, err := s.opt.Collector.CollectStream(exe, body, s.opt.MaxSpillBytes)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
-	sample, cached, err := s.opt.Collector.Collect(req.Exe, bin)
-	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: "request body exceeds " + strconv.FormatInt(tooLarge.Limit, 10) + " bytes"})
+			return
+		}
 		writeJSON(w, http.StatusUnprocessableEntity,
-			errorResponse{Error: fmt.Sprintf("collect: %v", err)})
+			errorResponse{Error: "collect: " + err.Error()})
 		return
 	}
 	pred := s.engine.Classify(&sample)
 	s.harvest(&sample, pred)
-	writeJSON(w, http.StatusOK, ClassifyResponse{
-		Exe: req.Exe, Label: pred.Label, Class: pred.Class,
-		Confidence: pred.Confidence, Cached: cached,
-	})
+	writeClassifyResponse(w, exe, pred, cached)
+}
+
+// hashFirstPrefixSize bounds the body prefix examined for the
+// hash-first fast path; a hash-first request is a tiny flat object and
+// always fits.
+const hashFirstPrefixSize = 4096
+
+// prefixPool recycles the classify prefix buffers.
+var prefixPool = sync.Pool{New: func() any {
+	b := make([]byte, hashFirstPrefixSize)
+	return &b
+}}
+
+// handleClassifyJSON serves the JSON legs of /v1/classify. The body
+// prefix is read into a pooled buffer first: if it is a complete
+// hash-first request ({"sha256":...} alone), the engine cache is probed
+// and answered without a JSON decoder, an encoder, or any allocation —
+// the warm path for clients that hash before they upload. Everything
+// else falls through to the full decoder.
+//
+// fhc:hotpath
+func (s *Server) handleClassifyJSON(w http.ResponseWriter, r *http.Request) {
+	bp := prefixPool.Get().(*[]byte)
+	defer prefixPool.Put(bp)
+	buf := *bp
+	n, complete, err := readPrefix(r.Body, buf)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if int64(n) > s.opt.MaxBodyBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: "request body exceeds " + strconv.FormatInt(s.opt.MaxBodyBytes, 10) + " bytes"})
+		return
+	}
+	if complete {
+		if key, exe, ok := parseHashFirst(buf[:n]); ok {
+			if pred, hit := s.engine.Lookup(key); hit {
+				s.hashFirstHits.Inc()
+				writeClassifyResponse(w, exe, pred, true)
+				return
+			}
+			writeNeedsBody(w)
+			return
+		}
+	}
+	s.classifySlow(w, r, buf[:n], complete)
+}
+
+// classifySlow is the fully general JSON classify path: whatever the
+// fast-path scanner could not handle lands here and goes through the
+// standard decoder, including hash-first requests with escaped strings
+// or unusual layout.
+func (s *Server) classifySlow(w http.ResponseWriter, r *http.Request, prefix []byte, complete bool) {
+	var req ClassifyRequest
+	if complete {
+		if err := json.Unmarshal(prefix, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request: %v", err)})
+			return
+		}
+	} else {
+		rest := http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes-int64(len(prefix)))
+		body := io.MultiReader(bytes.NewReader(prefix), rest)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeDecodeError(w, err)
+			return
+		}
+	}
+	if req.SHA256 != "" {
+		if req.BinaryB64 != "" || req.Path != "" {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: "sha256 cannot be combined with binary_b64 or path"})
+			return
+		}
+		key, err := parseSHA256(req.SHA256)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		if pred, hit := s.engine.Lookup(key); hit {
+			s.hashFirstHits.Inc()
+			writeClassifyResponse(w, req.Exe, pred, true)
+			return
+		}
+		writeNeedsBody(w)
+		return
+	}
+	sample, cached, code, err := s.collectFromRequest(&req)
+	if err != nil {
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	pred := s.engine.Classify(&sample)
+	s.harvest(&sample, pred)
+	writeClassifyResponse(w, req.Exe, pred, cached)
+}
+
+// ----- hash-first fast path ---------------------------------------------
+
+// readPrefix fills buf from r, returning how many bytes arrived and
+// whether the body ended inside the buffer. A body that exactly fills
+// the buffer reports complete=false and takes the slow path; only EOF
+// within the buffer proves the request is small.
+func readPrefix(r io.Reader, buf []byte) (n int, complete bool, err error) {
+	for n < len(buf) {
+		m, rerr := r.Read(buf[n:])
+		n += m
+		if rerr == io.EOF {
+			return n, true, nil
+		}
+		if rerr != nil {
+			return n, false, rerr
+		}
+	}
+	return n, false, nil
+}
+
+// skipSpace advances past JSON whitespace.
+func skipSpace(b []byte, i int) int {
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t' || b[i] == '\n' || b[i] == '\r') {
+		i++
+	}
+	return i
+}
+
+// scanPlainString scans a JSON string at b[i] containing no escape
+// sequences and no control characters, returning its contents and the
+// index past the closing quote. Anything fancier bails to the decoder.
+func scanPlainString(b []byte, i int) (s []byte, rest int, ok bool) {
+	if i >= len(b) || b[i] != '"' {
+		return nil, 0, false
+	}
+	for j := i + 1; j < len(b); j++ {
+		c := b[j]
+		if c == '"' {
+			return b[i+1 : j], j + 1, true
+		}
+		if c == '\\' || c < 0x20 {
+			return nil, 0, false
+		}
+	}
+	return nil, 0, false
+}
+
+// parseHashFirst recognises the exact hash-first request shape — one
+// flat JSON object whose keys are "sha256" and optionally "exe", with
+// plain string values — and extracts the prediction-cache key. It is
+// deliberately conservative: any other key, escape sequence or layout
+// reports !ok and the request goes through the full decoder, so the
+// fast scanner never changes what the API accepts, only what it costs.
+func parseHashFirst(body []byte) (key serve.Key, exe []byte, ok bool) {
+	i := skipSpace(body, 0)
+	if i >= len(body) || body[i] != '{' {
+		return key, nil, false
+	}
+	i = skipSpace(body, i+1)
+	var haveSHA bool
+	for {
+		k, rest, kok := scanPlainString(body, i)
+		if !kok {
+			return key, nil, false
+		}
+		i = skipSpace(body, rest)
+		if i >= len(body) || body[i] != ':' {
+			return key, nil, false
+		}
+		v, rest2, vok := scanPlainString(body, skipSpace(body, i+1))
+		if !vok {
+			return key, nil, false
+		}
+		switch string(k) {
+		case "sha256":
+			if len(v) != 2*len(key) {
+				return key, nil, false
+			}
+			if _, err := hex.Decode(key[:], v); err != nil {
+				return key, nil, false
+			}
+			haveSHA = true
+		case "exe":
+			exe = v
+		default:
+			return key, nil, false
+		}
+		i = skipSpace(body, rest2)
+		if i >= len(body) {
+			return key, nil, false
+		}
+		if body[i] == '}' {
+			i = skipSpace(body, i+1)
+			return key, exe, haveSHA && i == len(body)
+		}
+		if body[i] != ',' {
+			return key, nil, false
+		}
+		i = skipSpace(body, i+1)
+	}
+}
+
+// parseSHA256 decodes a hash-first hex digest from the slow path.
+func parseSHA256(s string) (serve.Key, error) {
+	var key serve.Key
+	if len(s) != 2*len(key) {
+		return key, errors.New("sha256 must be 64 hex characters")
+	}
+	if _, err := hex.Decode(key[:], []byte(s)); err != nil {
+		return key, errors.New("sha256 is not valid hex")
+	}
+	return key, nil
+}
+
+// jsonContentType is the shared Content-Type value the allocation-free
+// writers install by direct header assignment (Set would copy it).
+var jsonContentType = []string{"application/json"}
+
+// needsBodyJSON answers a hash-first probe the cache cannot satisfy.
+var needsBodyJSON = []byte("{\"error\":\"needs_body\"}\n")
+
+func writeNeedsBody(w http.ResponseWriter) {
+	w.Header()["Content-Type"] = jsonContentType
+	w.WriteHeader(http.StatusNotFound)
+	_, _ = w.Write(needsBodyJSON)
+}
+
+// respBufPool recycles classify response buffers.
+var respBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// writeClassifyResponse hand-renders a ClassifyResponse into a pooled
+// buffer, byte-compatible with encoding/json's omitempty output
+// (trailing newline included), so the warm hash-first hit allocates
+// nothing. Generic over the exe name so the fast path can pass the
+// slice scanned out of the request without converting it to a string.
+//
+// fhc:hotpath
+func writeClassifyResponse[T string | []byte](w http.ResponseWriter, exe T, pred core.Prediction, cached bool) {
+	bp := respBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, '{')
+	if len(exe) > 0 {
+		buf = append(buf, `"exe":`...)
+		buf = appendJSONString(buf, exe)
+	}
+	if pred.Label != "" {
+		if len(buf) > 1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `"label":`...)
+		buf = appendJSONString(buf, pred.Label)
+	}
+	if pred.Class != "" {
+		if len(buf) > 1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `"class":`...)
+		buf = appendJSONString(buf, pred.Class)
+	}
+	if pred.Confidence != 0 {
+		if len(buf) > 1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `"confidence":`...)
+		buf = appendJSONFloat(buf, pred.Confidence)
+	}
+	if cached {
+		if len(buf) > 1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `"cached":true`...)
+	}
+	buf = append(buf, '}', '\n')
+	w.Header()["Content-Type"] = jsonContentType
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+	*bp = buf
+	respBufPool.Put(bp)
+}
+
+// appendJSONFloat appends f the way encoding/json renders float64s —
+// shortest 'f' form in the ordinary range, 'e' form with a trimmed
+// exponent outside it — keeping the hand-rendered response
+// byte-identical to the encoder the slow legs use.
+//
+// fhc:hotpath
+func appendJSONFloat(dst []byte, f float64) []byte {
+	format := byte('f')
+	if abs := math.Abs(f); abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string, escaping the quote,
+// backslash and control characters the grammar requires.
+//
+// fhc:hotpath
+func appendJSONString[T string | []byte](dst []byte, s T) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			dst = append(dst, '\\', c)
+		case c < 0x20:
+			dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '"')
 }
 
 // harvest offers one served prediction to the continuous-learning
@@ -487,7 +935,7 @@ func (s *Server) harvest(sample *dataset.Sample, pred core.Prediction) {
 // keep their slot with a per-item error; order is preserved.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
-	if !decodeJSON(w, r, &req) {
+	if !decodeJSON(w, r, s.opt.MaxBodyBytes, &req) {
 		return
 	}
 	if len(req.Samples) == 0 {
@@ -506,14 +954,33 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Samples {
 		item := &req.Samples[i]
 		resp.Results[i].Exe = item.Exe
-		bin, err := s.resolveBinary(item)
-		if err != nil {
-			resp.Results[i].Error = err.Error()
+		if item.SHA256 != "" {
+			// Hash-first batch items probe the prediction cache; misses
+			// keep their slot with the needs_body marker so the client
+			// knows which binaries to upload.
+			if item.BinaryB64 != "" || item.Path != "" {
+				resp.Results[i].Error = "sha256 cannot be combined with binary_b64 or path"
+				continue
+			}
+			key, err := parseSHA256(item.SHA256)
+			if err != nil {
+				resp.Results[i].Error = err.Error()
+				continue
+			}
+			if pred, hit := s.engine.Lookup(key); hit {
+				s.hashFirstHits.Inc()
+				resp.Results[i] = ClassifyResponse{
+					Exe: item.Exe, Label: pred.Label, Class: pred.Class,
+					Confidence: pred.Confidence, Cached: true,
+				}
+			} else {
+				resp.Results[i].Error = "needs_body"
+			}
 			continue
 		}
-		sample, cached, err := s.opt.Collector.Collect(item.Exe, bin)
+		sample, cached, _, err := s.collectFromRequest(item)
 		if err != nil {
-			resp.Results[i].Error = fmt.Sprintf("collect: %v", err)
+			resp.Results[i].Error = err.Error()
 			continue
 		}
 		good = append(good, slot{index: i, cached: cached})
@@ -537,7 +1004,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	var req SwapRequest
-	if !decodeJSON(w, r, &req) {
+	// A swap request names one artifact path; 1 MiB is generous.
+	if !decodeJSON(w, r, 1<<20, &req) {
 		return
 	}
 	if req.Path == "" {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package httpserve
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package httpserve
+
+// The race detector's instrumentation allocates, which breaks exact
+// allocation-count assertions; those tests skip themselves under -race
+// (the CI perf gate runs them uninstrumented).
+const raceEnabled = true

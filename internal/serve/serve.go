@@ -277,6 +277,28 @@ func (e *Engine) Classify(s *dataset.Sample) core.Prediction {
 	return pred
 }
 
+// Lookup probes the current epoch's prediction cache by content digest
+// without featurising, classifying or coalescing anything. It backs the
+// hash-first protocol leg: a client that already knows its binary's
+// SHA-256 asks whether a prediction exists before shipping any bytes.
+// A hit counts toward Stats.Hits like any cache-served prediction; a
+// miss is free — no counter moves, nothing is enqueued — because the
+// client will follow up with the body and that request does the real
+// accounting. Allocation-free on both outcomes.
+//
+// fhc:hotpath
+func (e *Engine) Lookup(key Key) (core.Prediction, bool) {
+	st := e.state.Load()
+	if st.cache == nil {
+		return core.Prediction{}, false
+	}
+	p, ok := st.cache.Get(key)
+	if ok {
+		e.hits.Add(1)
+	}
+	return p, ok
+}
+
 // ClassifyAll predicts many samples concurrently through the batching
 // and caching layers, preserving input order. Concurrency is what fills
 // micro-batch windows, so a stream of N samples costs N goroutines;

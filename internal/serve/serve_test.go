@@ -85,6 +85,60 @@ func TestEngineCacheHitMiss(t *testing.T) {
 	}
 }
 
+func TestEngineLookup(t *testing.T) {
+	fb := &fakeBackend{}
+	e := New(fb, Options{BatchSize: 1})
+	defer e.Close()
+
+	a := keyedSample(1)
+	key, _ := SampleKey(&a)
+	if _, ok := e.Lookup(key); ok {
+		t.Fatal("Lookup hit before anything was classified")
+	}
+	if st := e.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Lookup miss moved counters: %+v", st)
+	}
+	want := e.Classify(&a)
+	got, ok := e.Lookup(key)
+	if !ok || got != want {
+		t.Fatalf("Lookup after classify: ok=%v pred=%+v, want %+v", ok, got, want)
+	}
+	if st := e.Stats(); st.Hits != 1 {
+		t.Fatalf("Lookup hit not counted: %+v", st)
+	}
+	if got := fb.classified(); got != 1 {
+		t.Fatalf("Lookup reached the backend: %d samples classified", got)
+	}
+	// A swap orphans the cache: the hash-first probe must miss until the
+	// new model has classified the binary.
+	e.Swap(fb)
+	if _, ok := e.Lookup(key); ok {
+		t.Fatal("Lookup served a prediction cached under a retired model")
+	}
+	// Lookup is allocation-free on both outcomes.
+	miss := keyedSample(9)
+	missKey, _ := SampleKey(&miss)
+	e.Classify(&a)
+	if allocs := testing.AllocsPerRun(100, func() {
+		e.Lookup(key)
+		e.Lookup(missKey)
+	}); allocs != 0 {
+		t.Fatalf("Lookup allocates %v times per probe pair", allocs)
+	}
+}
+
+func TestEngineLookupCacheDisabled(t *testing.T) {
+	fb := &fakeBackend{}
+	e := New(fb, Options{BatchSize: 1, CacheEntries: -1})
+	defer e.Close()
+	a := keyedSample(1)
+	e.Classify(&a)
+	key, _ := SampleKey(&a)
+	if _, ok := e.Lookup(key); ok {
+		t.Fatal("Lookup hit with caching disabled")
+	}
+}
+
 func TestEngineLRUEviction(t *testing.T) {
 	fb := &fakeBackend{}
 	e := New(fb, Options{BatchSize: 1, CacheEntries: 2})

@@ -32,6 +32,60 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// FuzzHashStreamingMatchesBytes is the streaming differential: across
+// arbitrary inputs and arbitrary chunk boundaries — one-byte writes
+// included — the streaming Hasher must produce a digest bit-identical
+// to the buffered HashBytes oracle.
+func FuzzHashStreamingMatchesBytes(f *testing.F) {
+	f.Add([]byte("hello world, this is a seed input for fuzzing"), uint64(1))
+	f.Add(bytes.Repeat([]byte{0xaa, 0x55}, 600), uint64(0x0102030405060708))
+	// All-zero inputs have no trigger points at any block size, forcing
+	// the block-size-halving retry all the way down to MinBlockSize.
+	f.Add(make([]byte, 4096), uint64(7))
+	f.Add(append(make([]byte, 2000), []byte("entropy tail after a long quiet run")...), uint64(3))
+	f.Fuzz(func(t *testing.T, data []byte, chunkSeed uint64) {
+		if len(data) == 0 {
+			return
+		}
+		want, err := HashBytes(data)
+		if err != nil {
+			t.Fatalf("HashBytes(%d bytes): %v", len(data), err)
+		}
+		// Chunk sizes derived from the seed nibbles (1..16 bytes), so the
+		// fuzzer explores boundary placement as well as content.
+		h := NewHasher()
+		defer h.Release()
+		rest := data
+		for i := 0; len(rest) > 0; i++ {
+			n := int(chunkSeed>>((i%16)*4)&0xf) + 1
+			if n > len(rest) {
+				n = len(rest)
+			}
+			h.Write(rest[:n])
+			rest = rest[n:]
+		}
+		got, err := h.Sum()
+		if err != nil {
+			t.Fatalf("Sum: %v", err)
+		}
+		if got != want {
+			t.Fatalf("streaming %q != buffered %q (seed %#x, %d bytes)", got, want, chunkSeed, len(data))
+		}
+		// One-byte writes through a reused hasher must agree too.
+		h.Reset()
+		for _, c := range data {
+			h.Write([]byte{c})
+		}
+		got, err = h.Sum()
+		if err != nil {
+			t.Fatalf("Sum (1-byte writes): %v", err)
+		}
+		if got != want {
+			t.Fatalf("1-byte streaming %q != buffered %q", got, want)
+		}
+	})
+}
+
 // FuzzHashCompare hashes arbitrary inputs and mutations of them: scores
 // must stay within bounds, self-similarity must be 100, and hashing must
 // be deterministic.

@@ -1,0 +1,275 @@
+package ssdeep
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeChunked feeds data to h in chunks of the given sizes, cycling
+// through sizes until data is exhausted.
+func writeChunked(h *Hasher, data []byte, sizes []int) {
+	for i := 0; len(data) > 0; i++ {
+		n := sizes[i%len(sizes)]
+		if n <= 0 {
+			n = 1
+		}
+		if n > len(data) {
+			n = len(data)
+		}
+		h.Write(data[:n])
+		data = data[n:]
+	}
+}
+
+// streamingInputs is the shared corpus of inputs chosen to hit every
+// structural branch: block-size halving (short and low-entropy inputs),
+// multi-context cascades, signature caps, and the residue-only path.
+func streamingInputs(t testing.TB) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(0x5eed))
+	random := func(n int) []byte {
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+	return map[string][]byte{
+		"one-byte":        {0x42},
+		"window-exact":    []byte("1234567"),
+		"ascii-short":     []byte("hello world, streaming ctph should match the oracle"),
+		"zeros-small":     make([]byte, 100),
+		"zeros-large":     make([]byte, 1<<16),
+		"repeat-ab":       bytes.Repeat([]byte{0xaa, 0x55}, 4000),
+		"repeat-text":     bytes.Repeat([]byte("abcdefg"), 3000),
+		"random-1k":       random(1 << 10),
+		"random-64k":      random(64 << 10),
+		"random-1m":       random(1 << 20),
+		"random-odd":      random(12347),
+		"halving-trigger": append(random(200), make([]byte, 8000)...),
+		"sparse":          append(make([]byte, 5000), random(64)...),
+	}
+}
+
+// TestHasherMatchesHashBytes is the core differential: the streaming
+// digest must be bit-identical to the buffered oracle across inputs and
+// chunkings, including one-byte writes.
+func TestHasherMatchesHashBytes(t *testing.T) {
+	chunkings := map[string][]int{
+		"whole":     {1 << 30},
+		"one-byte":  {1},
+		"tiny":      {2, 3, 1, 5},
+		"64k":       {64 << 10},
+		"odd-sizes": {7, 113, 1, 4096, 31},
+	}
+	for name, data := range streamingInputs(t) {
+		want, err := HashBytes(data)
+		if err != nil {
+			t.Fatalf("HashBytes(%s): %v", name, err)
+		}
+		for cname, sizes := range chunkings {
+			h := NewHasher()
+			writeChunked(h, data, sizes)
+			got, err := h.Sum()
+			h.Release()
+			if err != nil {
+				t.Fatalf("%s/%s: Sum: %v", name, cname, err)
+			}
+			if got != want {
+				t.Fatalf("%s/%s: streaming %q != buffered %q", name, cname, got, want)
+			}
+		}
+	}
+}
+
+// TestHasherIncrementalPrefixes checks every prefix of an input against
+// the oracle using a single hasher: Sum must be non-destructive and the
+// state must stay exact as bytes keep arriving.
+func TestHasherIncrementalPrefixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 3000)
+	rng.Read(data)
+	h := NewHasher()
+	defer h.Release()
+	for i := 1; i <= len(data); i++ {
+		h.Write(data[i-1 : i])
+		if i%257 != 0 && i != len(data) {
+			continue // spot-check prefixes; every byte would be O(n^2)
+		}
+		got, err := h.Sum()
+		if err != nil {
+			t.Fatalf("Sum after %d bytes: %v", i, err)
+		}
+		want, err := HashBytes(data[:i])
+		if err != nil {
+			t.Fatalf("HashBytes(%d bytes): %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("prefix %d: streaming %q != buffered %q", i, got, want)
+		}
+	}
+	// Sum twice: identical, still matching.
+	a, _ := h.Sum()
+	b, _ := h.Sum()
+	if a != b {
+		t.Fatalf("Sum not idempotent: %q vs %q", a, b)
+	}
+}
+
+// TestHasherEmptyAndReset covers the empty-input error and pool reuse.
+func TestHasherEmptyAndReset(t *testing.T) {
+	h := NewHasher()
+	defer h.Release()
+	if _, err := h.Sum(); err != ErrEmptyInput {
+		t.Fatalf("Sum of empty hasher: got %v, want ErrEmptyInput", err)
+	}
+	h.Write([]byte("some bytes to dirty the state, enough to fork contexts and append characters"))
+	if _, err := h.Sum(); err != nil {
+		t.Fatalf("Sum: %v", err)
+	}
+	h.Reset()
+	if _, err := h.Sum(); err != ErrEmptyInput {
+		t.Fatalf("Sum after Reset: got %v, want ErrEmptyInput", err)
+	}
+	data := []byte("fresh input after reset must hash as if the hasher were new")
+	h.Write(data)
+	got, err := h.Sum()
+	if err != nil {
+		t.Fatalf("Sum after Reset+Write: %v", err)
+	}
+	want, _ := HashBytes(data)
+	if got != want {
+		t.Fatalf("after Reset: %q != %q", got, want)
+	}
+}
+
+// errReader fails after yielding a prefix.
+type errReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestHashReaderStreaming checks the reader form against both oracles
+// and propagates read errors.
+func TestHashReaderStreaming(t *testing.T) {
+	for name, data := range streamingInputs(t) {
+		got, err := HashReaderStreaming(iotestOneByte{bytes.NewReader(data)})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := HashReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: HashReader: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: streaming %q != buffered %q", name, got, want)
+		}
+	}
+	if _, err := HashReaderStreaming(bytes.NewReader(nil)); err != ErrEmptyInput {
+		t.Fatalf("empty reader: got %v, want ErrEmptyInput", err)
+	}
+	boom := &errReader{data: []byte("partial"), err: io.ErrUnexpectedEOF}
+	if _, err := HashReaderStreaming(boom); err == nil {
+		t.Fatal("read error not propagated")
+	}
+}
+
+// iotestOneByte forces one-byte reads to exercise short-read handling.
+type iotestOneByte struct{ r io.Reader }
+
+func (o iotestOneByte) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+// TestHashFileStreaming checks the file form against HashFile.
+func TestHashFileStreaming(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	rng := rand.New(rand.NewSource(99))
+	data := make([]byte, 200_000)
+	rng.Read(data)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := HashFileStreaming(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := HashFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("streaming %q != buffered %q", got, want)
+	}
+	if _, err := HashFileStreaming(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file: expected error")
+	}
+}
+
+// TestHasherZeroAlloc proves the steady-state write loop and Sum do not
+// allocate: the O(1)-memory ingestion invariant at the hasher layer.
+func TestHasherZeroAlloc(t *testing.T) {
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(5)).Read(data)
+	h := NewHasher()
+	defer h.Release()
+	h.Write(data) // warm: fork all contexts this input will ever need
+	allocs := testing.AllocsPerRun(10, func() {
+		h.Write(data)
+	})
+	if allocs != 0 {
+		t.Fatalf("Write allocates %v times per call", allocs)
+	}
+	// Sum allocates only the two signature strings.
+	allocs = testing.AllocsPerRun(10, func() {
+		if _, err := h.Sum(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("Sum allocates %v times per call, want <= 2", allocs)
+	}
+}
+
+// BenchmarkHashStreaming measures the streaming hasher against the
+// buffered oracle on the same input.
+func BenchmarkHashStreaming(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.Run("streaming", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		h := NewHasher()
+		defer h.Release()
+		for i := 0; i < b.N; i++ {
+			h.Reset()
+			h.Write(data)
+			if _, err := h.Sum(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("buffered", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := HashBytes(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
