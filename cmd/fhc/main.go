@@ -17,6 +17,13 @@
 //	fhc report   -corpus DIR -model FILE [-format text|csv|md]
 //	fhc dups     [-min SCORE] [-feature NAME] [-within] DIR
 //	fhc serve    -model FILE [-policy FILE] [-input FILE|none] [-http ADDR] [-batch N] [-latency D] [-cache N] [-stats] [-retrain ...]
+//	fhc route    -worker NAME=URL ... [-listen ADDR] [-hedge-after D] [-incumbent FILE] [-watch DIR]
+//
+// route fronts a fleet of serve -http workers with the consistent-hash
+// router (internal/cluster): every binary's featurisation and cache
+// affinity lands on one shard, slow shards are hedged, dead shards are
+// ejected and retried around, and -incumbent/-watch drive staged model
+// rollouts (canary, gate, expand, rollback) across the whole fleet.
 //
 // serve accepts {"reload":"FILE"} control lines that hot-swap a
 // retrained model into the running engine with zero downtime, and with

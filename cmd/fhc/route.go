@@ -1,0 +1,154 @@
+package main
+
+// The route subcommand runs the distributed serving tier's front door
+// (internal/cluster): a stateless router that consistent-hashes every
+// classify request onto the worker shard owning its binary's cache
+// key, health-checks the fleet, hedges slow shards, and drives staged
+// model rollouts (canary → gate → expand → promote, rollback on any
+// failure) across all workers' /v1/model/swap endpoints.
+//
+// Each -worker names one `fhc serve -http` process. With -watch the
+// router auto-promotes artifacts the retrainer publishes behind the
+// directory's "latest" pointer, running each as a staged rollout.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func init() {
+	extraCommands = append(extraCommands, command{
+		"route", "front a worker fleet with the consistent-hash router", cmdRoute,
+	})
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// routeBound, when non-nil, observes the bound address and a shutdown
+// trigger equivalent to SIGINT. Tests use it to drive the blocking
+// router without signals. Mirrors serveHTTPBound.
+var routeBound func(addr string, shutdown func())
+
+// parseWorkerSpecs turns -worker values into cluster specs. Each value
+// is NAME=URL, or a bare URL that gets a positional wN name.
+func parseWorkerSpecs(raw []string) ([]cluster.WorkerSpec, error) {
+	if len(raw) == 0 {
+		return nil, errors.New("at least one -worker is required")
+	}
+	specs := make([]cluster.WorkerSpec, 0, len(raw))
+	for i, v := range raw {
+		name, url := "w"+strconv.Itoa(i), v
+		if eq := strings.IndexByte(v, '='); eq >= 0 && !strings.Contains(v[:eq], "/") {
+			name, url = v[:eq], v[eq+1:]
+		}
+		if name == "" || url == "" {
+			return nil, fmt.Errorf("-worker %q: want NAME=URL or URL", v)
+		}
+		specs = append(specs, cluster.WorkerSpec{Name: name, URL: url})
+	}
+	return specs, nil
+}
+
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	var workers multiFlag
+	fs.Var(&workers, "worker", "worker shard as NAME=URL or URL (repeatable, required)")
+	listen := fs.String("listen", ":8090", "address the router serves on")
+	replicas := fs.Int("replicas", 0, "virtual nodes per worker on the hash ring (0 = default)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "race a hedged duplicate after this reply delay (0 = default, negative disables)")
+	maxAttempts := fs.Int("max-attempts", 0, "shards tried per request, hedges included (0 = default)")
+	maxBody := fs.Int64("max-body", 0, "request-body byte bound at the router (0 = default)")
+	reqTimeout := fs.Duration("request-timeout", 0, "end-to-end forwarding budget per request (0 = default)")
+	healthEvery := fs.Duration("health-interval", 0, "readyz probe cadence per worker (0 = default)")
+	healthTimeout := fs.Duration("health-timeout", 0, "readyz probe timeout; set well above the fleet's loaded readyz p99 (0 = default)")
+	swapTimeout := fs.Duration("swap-timeout", 0, "per-worker budget for rollout swap and gate calls (0 = default)")
+	incumbent := fs.String("incumbent", "", "artifact the fleet currently serves; the rollback target (required for rollouts)")
+	watch := fs.String("watch", "", "auto-promote artifacts from this retrain artifact directory")
+	watchEvery := fs.Duration("watch-every", 0, "artifact-pointer poll cadence (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs, err := parseWorkerSpecs(workers)
+	if err != nil {
+		return err
+	}
+	if *watch != "" && *incumbent == "" {
+		return errors.New("-watch requires -incumbent: a rollout needs a rollback target")
+	}
+
+	rt, err := cluster.New(specs, cluster.Options{
+		Replicas:          *replicas,
+		HedgeAfter:        *hedgeAfter,
+		MaxAttempts:       *maxAttempts,
+		MaxBodyBytes:      *maxBody,
+		RequestTimeout:    *reqTimeout,
+		HealthInterval:    *healthEvery,
+		HealthTimeout:     *healthTimeout,
+		SwapTimeout:       *swapTimeout,
+		IncumbentArtifact: *incumbent,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	if *watch != "" {
+		if err := rt.Coordinator().WatchArtifacts(*watch, *watchEvery); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: rt.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "fhc route: fronting %d workers on http://%s\n", len(specs), ln.Addr())
+
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	requestStop := func() { stopOnce.Do(func() { close(stop) }) }
+	if routeBound != nil {
+		routeBound(ln.Addr().String(), requestStop)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "fhc route: %v — draining\n", s)
+	case <-stop:
+	case err := <-httpErr:
+		signal.Stop(sig)
+		return err // listener died before any shutdown request
+	}
+	signal.Stop(sig)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-httpErr; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

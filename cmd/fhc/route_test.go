@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseWorkerSpecs(t *testing.T) {
+	specs, err := parseWorkerSpecs([]string{"alpha=http://h1:8080", "http://h2:8080"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Name != "alpha" || specs[0].URL != "http://h1:8080" {
+		t.Fatalf("named spec parsed as %+v", specs[0])
+	}
+	// A bare URL gets a positional name; the "=" inside a URL query must
+	// not be mistaken for a NAME= separator because "/" precedes it.
+	if specs[1].Name != "w1" || specs[1].URL != "http://h2:8080" {
+		t.Fatalf("bare spec parsed as %+v", specs[1])
+	}
+	if _, err := parseWorkerSpecs(nil); err == nil {
+		t.Fatal("empty worker list accepted")
+	}
+	if _, err := parseWorkerSpecs([]string{"=http://h:1"}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+// TestCmdRoute drives the router CLI end to end: two real `serve -http`
+// workers, fronted by `route`, answering classify requests with shard
+// attribution and exposing the cluster status and metrics surfaces.
+func TestCmdRoute(t *testing.T) {
+	dir, binary := makeTree(t)
+	model := filepath.Join(t.TempDir(), "model.json")
+	if _, err := withStdout(t, func() error {
+		return cmdTrain([]string{"-corpus", dir, "-model", model, "-threshold", "0.3", "-trees", "40"})
+	}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+
+	// Two workers, started one at a time through the shared bound hook.
+	type boundServer struct {
+		addr string
+		stop func()
+	}
+	bound := make(chan boundServer, 1)
+	serveHTTPBound = func(addr string, stop func()) {
+		bound <- boundServer{addr, stop}
+	}
+	defer func() { serveHTTPBound = nil }()
+
+	var workerAddrs []string
+	var stops []func()
+	workerDone := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			workerDone <- cmdServe([]string{"-model", model, "-input", "none", "-http", "127.0.0.1:0"})
+		}()
+		select {
+		case b := <-bound:
+			workerAddrs = append(workerAddrs, b.addr)
+			stops = append(stops, b.stop)
+		case err := <-workerDone:
+			t.Fatalf("worker %d exited before binding: %v", i, err)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("worker %d never bound", i)
+		}
+	}
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+		for i := 0; i < 2; i++ {
+			select {
+			case <-workerDone:
+			case <-time.After(20 * time.Second):
+				t.Error("a worker did not exit after shutdown")
+			}
+		}
+	}()
+
+	routerBound := make(chan boundServer, 1)
+	routeBound = func(addr string, stop func()) {
+		routerBound <- boundServer{addr, stop}
+	}
+	defer func() { routeBound = nil }()
+
+	routeDone := make(chan error, 1)
+	go func() {
+		routeDone <- cmdRoute([]string{
+			"-worker", "w0=http://" + workerAddrs[0],
+			"-worker", "w1=http://" + workerAddrs[1],
+			"-listen", "127.0.0.1:0",
+			"-incumbent", model,
+		})
+	}()
+	var base string
+	var routeStop func()
+	select {
+	case b := <-routerBound:
+		base, routeStop = "http://"+b.addr, b.stop
+	case err := <-routeDone:
+		t.Fatalf("route exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("router never bound")
+	}
+
+	// Classify through the router: inline base64 so any shard can answer.
+	bin, err := os.ReadFile(binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := `{"exe":"job","binary_b64":"` + base64.StdEncoding.EncodeToString(bin) + `"}`
+	cresp, err := http.Post(base+"/v1/classify", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(cresp.Body)
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK || !strings.Contains(string(raw), `"label":"AppOne"`) {
+		t.Fatalf("classify through router: %d %s", cresp.StatusCode, raw)
+	}
+	if shard := cresp.Header.Get("Fhc-Shard"); shard != "w0" && shard != "w1" {
+		t.Fatalf("router did not attribute the shard: %q", shard)
+	}
+
+	// Cluster status names both workers; metrics carry the cluster series.
+	sresp, err := http.Get(base + "/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sraw, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	var status struct {
+		Workers []struct {
+			Name  string `json:"name"`
+			Ready bool   `json:"ready"`
+		} `json:"workers"`
+	}
+	if err := json.Unmarshal(sraw, &status); err != nil {
+		t.Fatalf("cluster status: %v\n%s", err, sraw)
+	}
+	if len(status.Workers) != 2 {
+		t.Fatalf("cluster status workers: %s", sraw)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mraw), "fhc_cluster_requests_total") {
+		t.Fatalf("router metrics missing cluster series:\n%.400s", mraw)
+	}
+
+	// Shut the router down and demand a clean exit.
+	routeStop()
+	select {
+	case err := <-routeDone:
+		if err != nil {
+			t.Fatalf("route did not shut down cleanly: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("route did not exit after shutdown")
+	}
+}
+
+// TestCmdRouteValidation pins the flag refusals.
+func TestCmdRouteValidation(t *testing.T) {
+	if err := cmdRoute([]string{"-listen", "127.0.0.1:0"}); err == nil {
+		t.Fatal("route without workers accepted")
+	}
+	if err := cmdRoute([]string{
+		"-worker", "http://127.0.0.1:1",
+		"-watch", t.TempDir(),
+		"-listen", "127.0.0.1:0",
+	}); err == nil || !strings.Contains(err.Error(), "-incumbent") {
+		t.Fatalf("route -watch without -incumbent: %v", err)
+	}
+}

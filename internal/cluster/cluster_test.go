@@ -1,0 +1,182 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/clustertest"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/httpserve"
+	"repro/internal/rf"
+	"repro/internal/synth"
+)
+
+// ----- shared fixture ---------------------------------------------------
+//
+// One synthetic corpus, one rf model (the incumbent) and one knn model
+// (the rollout candidate), both persisted as swap artifacts — the same
+// shape internal/httpserve's tests use, so cluster behaviour is proven
+// over the real serving stack, not stubs.
+
+var (
+	fixOnce    sync.Once
+	fixErr     error
+	fixDir     string
+	fixRF      *core.Classifier
+	fixKNN     *core.Classifier
+	fixSamples []dataset.Sample
+	fixBins    [][]byte
+	fixRFPath  string
+	fixKNNPath string
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if fixDir != "" {
+		os.RemoveAll(fixDir)
+	}
+	os.Exit(code)
+}
+
+func fixture(t testing.TB) {
+	t.Helper()
+	fixOnce.Do(buildFixture)
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+}
+
+func buildFixture() {
+	corpus, err := synth.Generate([]synth.ClassSpec{
+		{Name: "Alpha", Samples: 8},
+		{Name: "Beta", Samples: 8},
+		{Name: "Gamma", Samples: 8},
+	}, synth.Options{Seed: 7})
+	if err != nil {
+		fixErr = err
+		return
+	}
+	fixSamples, err = dataset.FromCorpus(corpus, 0)
+	if err != nil {
+		fixErr = err
+		return
+	}
+	for i := range corpus.Samples {
+		fixBins = append(fixBins, corpus.Samples[i].Binary)
+	}
+	fixRF, err = core.Train(fixSamples, core.Config{
+		Threshold: 0.3, Seed: 11, Forest: rf.Params{NumTrees: 30},
+	})
+	if err != nil {
+		fixErr = err
+		return
+	}
+	fixKNN, err = core.Train(fixSamples, core.Config{
+		Threshold: 0.3, Seed: 11, Model: "knn",
+	})
+	if err != nil {
+		fixErr = err
+		return
+	}
+	fixDir, err = os.MkdirTemp("", "cluster-test")
+	if err != nil {
+		fixErr = err
+		return
+	}
+	if fixRFPath, fixErr = saveModel(fixRF, filepath.Join(fixDir, "rf.json")); fixErr != nil {
+		return
+	}
+	fixKNNPath, fixErr = saveModel(fixKNN, filepath.Join(fixDir, "knn.json"))
+}
+
+func saveModel(clf *core.Classifier, path string) (string, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	return path, clf.Save(f)
+}
+
+// startCluster is the default 3-worker fixture with the rf incumbent.
+func startCluster(t *testing.T, copt cluster.Options) *clustertest.Cluster {
+	t.Helper()
+	fixture(t)
+	if copt.IncumbentArtifact == "" {
+		copt.IncumbentArtifact = fixRFPath
+	}
+	return clustertest.Start(t, clustertest.Options{Model: fixRF, Cluster: copt})
+}
+
+// ----- request helpers --------------------------------------------------
+
+func postJSON(t testing.TB, url string, body any) (int, []byte, http.Header) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return post(t, url, "application/json", raw)
+}
+
+func post(t testing.TB, url, contentType string, body []byte) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+// classifyInline routes one binary through the router's inline-b64 leg
+// and returns the response plus the shard that answered.
+func classifyInline(t testing.TB, base string, bin []byte) (httpserve.ClassifyResponse, string) {
+	t.Helper()
+	code, body, hdr := postJSON(t, base+"/v1/classify", httpserve.ClassifyRequest{
+		Exe: "job", BinaryB64: base64.StdEncoding.EncodeToString(bin),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("classify status %d: %s", code, body)
+	}
+	var resp httpserve.ClassifyResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("classify response: %v\n%s", err, body)
+	}
+	return resp, hdr.Get("Fhc-Shard")
+}
+
+// shardOf answers which shard owns bin right now.
+func shardOf(t testing.TB, base string, bin []byte) string {
+	t.Helper()
+	_, shard := classifyInline(t, base, bin)
+	return shard
+}
+
+// scrapeMetrics fetches the router's /metrics text.
+func scrapeMetrics(t testing.TB, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,164 @@
+package clustertest
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/httpserve"
+	"repro/internal/serve"
+)
+
+// Options configures a test cluster fixture.
+type Options struct {
+	// Workers is the fleet size. Default 3.
+	Workers int
+	// Model backs every worker's serving engine. Required.
+	Model *core.Classifier
+	// Cluster seeds the router options. Zero-value fields get
+	// test-friendly defaults (fast health probes, keep-alives off so
+	// every request samples the proxy's current failure mode).
+	Cluster cluster.Options
+	// Engine seeds every worker's engine options.
+	Engine serve.Options
+	// PerWorker, when non-nil, customises worker i's server options
+	// before it starts (e.g. a per-worker ModelDir).
+	PerWorker func(i int, opt *httpserve.Options)
+}
+
+// WorkerHandle is one fleet member: the real engine and HTTP server,
+// and the fault proxy the router reaches it through.
+type WorkerHandle struct {
+	Name   string
+	Engine *serve.Engine
+	Server *httpserve.Server
+	Proxy  *Proxy
+	// Addr is the worker's direct (unproxied) address, for tests that
+	// must talk to the worker behind the router's back.
+	Addr string
+}
+
+// Cluster is a running in-process fleet: N proxied workers and a
+// router in front, all torn down by t.Cleanup.
+type Cluster struct {
+	Router  *cluster.Router
+	Workers []*WorkerHandle
+	srv     *httptest.Server
+}
+
+// URL returns the router's base URL.
+func (c *Cluster) URL() string { return c.srv.URL }
+
+// Start brings up opt.Workers workers (engine + httpserve on loopback,
+// fault proxy in front) and a router over the proxied addresses, and
+// registers teardown on t.
+func Start(t testing.TB, opt Options) *Cluster {
+	t.Helper()
+	if opt.Model == nil {
+		t.Fatal("clustertest: Options.Model is required")
+	}
+	n := opt.Workers
+	if n <= 0 {
+		n = 3
+	}
+
+	c := &Cluster{}
+	specs := make([]cluster.WorkerSpec, 0, n)
+	for i := 0; i < n; i++ {
+		name := "w" + strconv.Itoa(i)
+		engine := serve.New(opt.Model, opt.Engine)
+		wopt := httpserve.Options{ReadTimeout: -1}
+		if opt.PerWorker != nil {
+			opt.PerWorker(i, &wopt)
+		}
+		hs := httpserve.New(engine, wopt)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go hs.Serve(ln)
+		proxy, err := NewProxy(ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &WorkerHandle{
+			Name:   name,
+			Engine: engine,
+			Server: hs,
+			Proxy:  proxy,
+			Addr:   ln.Addr().String(),
+		}
+		c.Workers = append(c.Workers, w)
+		specs = append(specs, cluster.WorkerSpec{Name: name, URL: "http://" + proxy.Addr()})
+		t.Cleanup(func() {
+			proxy.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			hs.Shutdown(ctx)
+			cancel()
+			engine.Close()
+		})
+	}
+
+	copt := opt.Cluster
+	if copt.HealthInterval == 0 {
+		copt.HealthInterval = 50 * time.Millisecond
+	}
+	if copt.HealthTimeout == 0 {
+		copt.HealthTimeout = 250 * time.Millisecond
+	}
+	if copt.MaxBackoff == 0 {
+		copt.MaxBackoff = 400 * time.Millisecond
+	}
+	if copt.RequestTimeout == 0 {
+		copt.RequestTimeout = 10 * time.Second
+	}
+	if copt.SwapTimeout == 0 {
+		copt.SwapTimeout = 5 * time.Second
+	}
+	if copt.Transport == nil {
+		// Keep-alives off: every routed request opens a fresh proxied
+		// connection, so a mode flipped between requests applies to the
+		// very next one — deterministic fault sampling.
+		copt.Transport = &http.Transport{DisableKeepAlives: true}
+	}
+	rt, err := cluster.New(specs, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Router = rt
+	c.srv = httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		c.srv.Close()
+		rt.Close()
+	})
+	return c
+}
+
+// WaitReady blocks until the router reports exactly want ready
+// workers, failing t after the deadline. Membership is probe-driven,
+// so tests flip a proxy mode and wait here for the ring to notice.
+func (c *Cluster) WaitReady(t testing.TB, want int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		n := 0
+		for _, ws := range c.Router.WorkerStates() {
+			if ws.Ready {
+				n++
+			}
+		}
+		if n == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("clustertest: %d ready workers after %v, want %d", n, within, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

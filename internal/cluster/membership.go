@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// membership is the health-based admission controller: one goroutine
+// per worker polls /readyz on HealthInterval, ejects the worker from
+// routing on the first failed probe, then re-probes with jittered
+// exponential backoff (capped at MaxBackoff) until the worker answers
+// again and is readmitted. The forwarding path nudges a worker's
+// prober through its kick channel when a forward fails at transport
+// level, so a crashed shard leaves the ring within one probe rather
+// than one interval.
+type membership struct {
+	rt     *Router
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+func newMembership(rt *Router) *membership {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &membership{rt: rt, ctx: ctx, cancel: cancel}
+}
+
+func (m *membership) start() {
+	for _, w := range m.rt.workers {
+		m.wg.Add(1)
+		go m.probeLoop(w)
+	}
+}
+
+func (m *membership) stop() {
+	m.cancel()
+	m.wg.Wait()
+}
+
+// kick asks for an immediate re-probe of w; used by the forwarding
+// path on transport errors. Non-blocking — a pending kick is enough.
+func (m *membership) kick(w *Worker) {
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// probeLoop owns one worker's admission bit. Workers start admitted
+// (optimistic), so the loop probes immediately to correct a worker
+// that was down before the router came up.
+func (m *membership) probeLoop(w *Worker) {
+	defer m.wg.Done()
+	// Per-worker jitter source; seeded off the worker's vnode hash so
+	// two routers over one fleet do not probe in lockstep.
+	rng := rand.New(rand.NewSource(int64(fnv64a(w.name)) ^ time.Now().UnixNano()))
+	backoff := m.rt.opt.HealthInterval
+	timer := time.NewTimer(0) // first probe now
+	defer timer.Stop()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-timer.C:
+		case <-w.kick:
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		ok := m.probe(w)
+		switch {
+		case ok && !w.ready.Load():
+			w.ready.Store(true)
+			w.readmissions.Inc()
+			backoff = m.rt.opt.HealthInterval
+		case ok:
+			backoff = m.rt.opt.HealthInterval
+		case !ok && w.ready.Load():
+			w.ready.Store(false)
+			w.ejections.Inc()
+			backoff = m.rt.opt.HealthInterval
+		default:
+			// Still down: back off exponentially with full jitter so a
+			// rebooting worker is not hammered by the whole router tier.
+			backoff *= 2
+			if backoff > m.rt.opt.MaxBackoff {
+				backoff = m.rt.opt.MaxBackoff
+			}
+		}
+		delay := backoff
+		if !ok {
+			delay = time.Duration(rng.Int63n(int64(backoff) + 1))
+			if delay < m.rt.opt.HealthInterval/4 {
+				delay = m.rt.opt.HealthInterval / 4
+			}
+		}
+		timer.Reset(delay)
+	}
+}
+
+// probe answers whether one /readyz round-trip succeeded.
+func (m *membership) probe(w *Worker) bool {
+	ctx, cancel := context.WithTimeout(m.ctx, m.rt.opt.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.readyzURL, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := m.rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

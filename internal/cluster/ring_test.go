@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"strconv"
+	"testing"
+)
+
+// testWorkers builds n bare workers (no metrics — the ring never
+// touches them), all ready.
+func testWorkers(n int) []*Worker {
+	ws := make([]*Worker, n)
+	for i := range ws {
+		ws[i] = &Worker{name: "w" + strconv.Itoa(i), idx: i}
+		ws[i].ready.Store(true)
+	}
+	return ws
+}
+
+// ownerOf resolves one point to its first candidate.
+func ownerOf(r *ring, h uint64) *Worker {
+	var buf [maxWorkers]*Worker
+	c := r.candidates(h, buf[:0], 1)
+	if len(c) == 0 {
+		return nil
+	}
+	return c[0]
+}
+
+// TestRingDeterministic pins that the ring is a pure function of the
+// worker names: two routers over one fleet place every key identically.
+func TestRingDeterministic(t *testing.T) {
+	a := buildRing(testWorkers(5), 64)
+	b := buildRing(testWorkers(5), 64)
+	if len(a.points) != len(b.points) || len(a.points) != 5*64 {
+		t.Fatalf("vnode counts: %d vs %d", len(a.points), len(b.points))
+	}
+	for i := range a.points {
+		if a.points[i] != b.points[i] || a.owner[i].name != b.owner[i].name {
+			t.Fatalf("ring diverges at vnode %d", i)
+		}
+	}
+	for k := 0; k < 1000; k++ {
+		h := fnv64a("key-" + strconv.Itoa(k))
+		if ownerOf(a, h).name != ownerOf(b, h).name {
+			t.Fatalf("key %d routes differently across identical rings", k)
+		}
+	}
+}
+
+// TestRingBalance checks the vnode count spreads keys across the fleet
+// without a pathological hot shard.
+func TestRingBalance(t *testing.T) {
+	workers := testWorkers(8)
+	r := buildRing(workers, 64)
+	counts := map[string]int{}
+	const keys = 20000
+	for k := 0; k < keys; k++ {
+		counts[ownerOf(r, fnv64a("key-"+strconv.Itoa(k))).name]++
+	}
+	// Fair share is 12.5%; allow a generous band — the property under
+	// test is "no starved or hot shard", not a chi-squared fit.
+	for _, w := range workers {
+		got := counts[w.name]
+		if got < keys*4/100 || got > keys*25/100 {
+			t.Fatalf("shard %s owns %d/%d keys (%.1f%%), outside 4%%..25%%",
+				w.name, got, keys, 100*float64(got)/keys)
+		}
+	}
+}
+
+// TestRingMinimalMovement: ejecting one worker moves only that worker's
+// keys; every key owned by a surviving shard stays put. This is the
+// property that keeps cache affinity through membership churn.
+func TestRingMinimalMovement(t *testing.T) {
+	workers := testWorkers(6)
+	r := buildRing(workers, 64)
+	const keys = 5000
+	before := make([]*Worker, keys)
+	for k := range before {
+		before[k] = ownerOf(r, fnv64a("key-"+strconv.Itoa(k)))
+	}
+	down := workers[2]
+	down.ready.Store(false)
+	moved := 0
+	for k := range before {
+		after := ownerOf(r, fnv64a("key-"+strconv.Itoa(k)))
+		if before[k] != down {
+			if after != before[k] {
+				t.Fatalf("key %d moved from surviving shard %s to %s", k, before[k].name, after.name)
+			}
+			continue
+		}
+		moved++
+		if after == down {
+			t.Fatalf("key %d still routes to the ejected shard", k)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("ejected shard owned no keys; fixture is vacuous")
+	}
+	// Readmission restores the exact original placement.
+	down.ready.Store(true)
+	for k := range before {
+		if ownerOf(r, fnv64a("key-"+strconv.Itoa(k))) != before[k] {
+			t.Fatalf("key %d did not return to its owner after readmission", k)
+		}
+	}
+}
+
+// TestRingCandidates pins the hedge/retry order contract: distinct
+// workers, owner first, bounded by max, skipping ejected shards.
+func TestRingCandidates(t *testing.T) {
+	workers := testWorkers(4)
+	r := buildRing(workers, 32)
+	h := fnv64a("some-key")
+	// Distinct buffers: candidates fills the slice it is given, and the
+	// assertions below compare results across calls.
+	var buf, buf2 [maxWorkers]*Worker
+	cands := r.candidates(h, buf[:0], 3)
+	if len(cands) != 3 {
+		t.Fatalf("want 3 candidates, got %d", len(cands))
+	}
+	seen := map[*Worker]bool{}
+	for _, w := range cands {
+		if seen[w] {
+			t.Fatalf("duplicate candidate %s", w.name)
+		}
+		seen[w] = true
+	}
+	// Ejecting the owner promotes the old second candidate to first.
+	cands[0].ready.Store(false)
+	next := r.candidates(h, buf2[:0], 3)
+	if len(next) != 3 {
+		t.Fatalf("want 3 candidates with one shard down, got %d", len(next))
+	}
+	if next[0] != cands[1] {
+		t.Fatalf("owner ejection promoted %s, want %s", next[0].name, cands[1].name)
+	}
+	for _, w := range next {
+		if w == cands[0] {
+			t.Fatal("ejected shard still listed as a candidate")
+		}
+	}
+	cands[0].ready.Store(true)
+	// The whole fleet down yields no candidates.
+	for _, w := range workers {
+		w.ready.Store(false)
+	}
+	if got := r.candidates(h, buf2[:0], 3); len(got) != 0 {
+		t.Fatalf("all shards down still yields %d candidates", len(got))
+	}
+}
+
+// TestPointOf pins the key→point mapping (big-endian prefix of the
+// SHA-256), which placement depends on forever.
+func TestPointOf(t *testing.T) {
+	var key [32]byte
+	for i := range key {
+		key[i] = byte(i + 1)
+	}
+	want := uint64(0x0102030405060708)
+	if got := pointOf(key); got != want {
+		t.Fatalf("pointOf = %#x, want %#x", got, want)
+	}
+}

@@ -1,0 +1,562 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/httpserve"
+	"repro/internal/serve"
+)
+
+// Predeclared error bodies and errors so the forwarding path never
+// constructs them per request.
+var (
+	errNoReadyWorkers = errors.New("cluster: no ready workers")
+
+	jsonContentType     = []string{"application/json"}
+	noReadyWorkersJSON  = []byte("{\"error\":\"no ready workers\"}\n")
+	allShardsFailedJSON = []byte("{\"error\":\"all shards failed\"}\n")
+	methodJSON          = []byte("{\"error\":\"method not allowed\"}\n")
+	tooLargeJSON        = []byte("{\"error\":\"request body exceeds router limit\"}\n")
+	badBodyJSON         = []byte("{\"error\":\"bad request body\"}\n")
+)
+
+const octetStream = "application/octet-stream"
+
+// shardHeader names the worker that answered, for tests and debugging.
+const shardHeader = "Fhc-Shard"
+
+func (rt *Router) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/classify", rt.handleClassify)
+	mux.HandleFunc("/v1/classify/batch", rt.handleBatch)
+	mux.HandleFunc("/v1/model/swap", rt.handleSwap)
+	mux.HandleFunc("/v1/cluster/status", rt.handleStatus)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/readyz", rt.handleReadyz)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux = mux
+}
+
+// writeStatic emits a predeclared JSON error body.
+func writeStatic(w http.ResponseWriter, code int, body []byte) {
+	w.Header()["Content-Type"] = jsonContentType
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
+// readBody buffers the request body up to limit, reporting overflow
+// separately from read errors.
+func readBody(r io.Reader, limit int64) (body []byte, overflow bool, err error) {
+	body, err = io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, false, err
+	}
+	if int64(len(body)) > limit {
+		return nil, true, nil
+	}
+	return body, false, nil
+}
+
+// fnv64aBytes is fnv64a over raw bytes; the routing fallback for
+// payloads that have no extractable cache key.
+func fnv64aBytes(b []byte) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime64
+	}
+	return h
+}
+
+// hashB64 computes the engine cache key of a base64-encoded binary by
+// streaming it through a decoder — the key the owning shard will
+// compute, without materialising the binary on the router.
+func hashB64(s string) (key serve.Key, ok bool) {
+	h := sha256.New()
+	dec := base64.NewDecoder(base64.StdEncoding, strings.NewReader(s))
+	if _, err := io.Copy(h, dec); err != nil {
+		return key, false
+	}
+	h.Sum(key[:0])
+	return key, true
+}
+
+// pointForItem resolves one JSON classify request to its ring point.
+// Requests carrying the binary (or its hash) route by the engine cache
+// key, exactly as the owning shard will compute it; requests the
+// workers will reject (corrupt base64, no content) still route — to a
+// deterministic shard — so every protocol error is produced by a
+// worker, with the worker's canonical error text, never synthesised by
+// the router.
+func (rt *Router) pointForItem(it *httpserve.ClassifyRequest) uint64 {
+	if it.SHA256 != "" {
+		var key serve.Key
+		if len(it.SHA256) == 2*len(key) {
+			if _, err := hex.Decode(key[:], []byte(it.SHA256)); err == nil {
+				return pointOf(key)
+			}
+		}
+		return fnv64a(it.SHA256)
+	}
+	if it.BinaryB64 != "" {
+		if key, ok := hashB64(it.BinaryB64); ok {
+			return pointOf(key)
+		}
+		return fnv64a(it.BinaryB64)
+	}
+	if it.Path != "" {
+		return fnv64a(it.Path)
+	}
+	return fnv64a(it.Exe)
+}
+
+// pointForBody resolves a /v1/classify body to its ring point.
+//
+// fhc:hotpath pointForBody runs once per routed classify request; the
+// octet-stream and hash-first legs stay off the JSON decoder entirely.
+func (rt *Router) pointForBody(contentType string, body []byte) uint64 {
+	if contentType == octetStream || strings.HasPrefix(contentType, octetStream+";") {
+		sum := sha256.Sum256(body)
+		return pointOf(sum)
+	}
+	if key, _, ok := httpserve.ParseHashFirst(body); ok {
+		return pointOf(key)
+	}
+	var req httpserve.ClassifyRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return fnv64aBytes(body)
+	}
+	return rt.pointForItem(&req)
+}
+
+// fwdResult is one attempt's outcome. A result only counts as a win
+// once the whole reply body is buffered: a connection torn down
+// mid-body is a retryable attempt failure, never a truncated 200
+// already committed to the client.
+type fwdResult struct {
+	status int
+	header http.Header
+	body   []byte
+	idx    int
+	err    error
+}
+
+// forward proxies body to the shards owning point: the first candidate
+// is the key's owner, later candidates are hedge/retry targets in ring
+// order. A transport error relaunches on the next shard immediately; a
+// reply slower than HedgeAfter races one — and only one — hedged
+// duplicate against the next shard, first complete response wins, the
+// loser's context is cancelled. The winning response is written to w
+// verbatim, plus a Fhc-Shard header naming the shard. Returns the
+// status code written.
+//
+// fhc:hotpath forward runs once per routed classify request.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, point uint64, urlFor func(*Worker) string, contentType string, body []byte) int {
+	var cbuf [maxWorkers]*Worker
+	cands := rt.ring.candidates(point, cbuf[:0], rt.opt.MaxAttempts)
+	if len(cands) == 0 {
+		rt.unroutable.Add(1)
+		writeStatic(w, http.StatusServiceUnavailable, noReadyWorkersJSON)
+		return http.StatusServiceUnavailable
+	}
+
+	ctx := r.Context()
+	if rt.opt.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.opt.RequestTimeout)
+		defer cancel()
+	}
+
+	results := make(chan fwdResult, len(cands))
+	cancels := make([]context.CancelFunc, len(cands))
+	launched := 0
+	launch := func() {
+		i := launched
+		launched++
+		actx, acancel := context.WithCancel(ctx)
+		cancels[i] = acancel
+		wk := cands[i]
+		wk.requests.Inc()
+		go func() {
+			br := new(bytes.Reader)
+			br.Reset(body)
+			req, err := http.NewRequestWithContext(actx, http.MethodPost, urlFor(wk), br)
+			if err != nil {
+				results <- fwdResult{idx: i, err: err}
+				return
+			}
+			if contentType != "" {
+				req.Header["Content-Type"] = []string{contentType}
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				results <- fwdResult{idx: i, err: err}
+				return
+			}
+			// Buffer the whole reply before reporting it. The workers are
+			// ours and classify replies are small JSON, so no read cap.
+			rbody, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				results <- fwdResult{idx: i, err: err}
+				return
+			}
+			results <- fwdResult{status: resp.StatusCode, header: resp.Header, body: rbody, idx: i}
+		}()
+	}
+	launch()
+
+	var hedgeC <-chan time.Time
+	if rt.opt.HedgeAfter > 0 && len(cands) > 1 {
+		t := time.NewTimer(rt.opt.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	hedgeIdx := -1
+	pending := 1
+	won := false
+	var win fwdResult
+	for !won {
+		select {
+		case <-hedgeC:
+			hedgeC = nil // at most one hedge per request
+			if launched < len(cands) {
+				hedgeIdx = launched
+				rt.hedgesFired.Add(1)
+				launch()
+				pending++
+			}
+		case res := <-results:
+			pending--
+			if res.err != nil {
+				wk := cands[res.idx]
+				wk.errs.Inc()
+				rt.member.kick(wk)
+				if launched < len(cands) {
+					rt.retries.Add(1)
+					launch()
+					pending++
+				} else if pending == 0 {
+					writeStatic(w, http.StatusBadGateway, allShardsFailedJSON)
+					return http.StatusBadGateway
+				}
+				continue
+			}
+			win, won = res, true
+		}
+	}
+	if win.idx == hedgeIdx {
+		rt.hedgeWins.Add(1)
+	}
+	// Cancel the losers; their goroutines buffer into the channel (it
+	// has a slot per candidate) and exit on their own.
+	for i := 0; i < launched; i++ {
+		if i != win.idx {
+			cancels[i]()
+		}
+	}
+
+	hdr := w.Header()
+	for k, v := range win.header {
+		hdr[k] = v
+	}
+	hdr[shardHeader] = []string{cands[win.idx].name}
+	w.WriteHeader(win.status)
+	_, _ = w.Write(win.body)
+	return win.status
+}
+
+// tryWorkers runs one sub-request against cands sequentially, retrying
+// on the next shard after a transport error (no hedging — it backs the
+// batch scatter, where the per-shard sub-batch is already parallel).
+// The caller owns the returned response body.
+func (rt *Router) tryWorkers(ctx context.Context, cands []*Worker, urlFor func(*Worker) string, body []byte) (*http.Response, *Worker, error) {
+	if len(cands) == 0 {
+		rt.unroutable.Add(1)
+		return nil, nil, errNoReadyWorkers
+	}
+	var lastErr error
+	for i, wk := range cands {
+		if i > 0 {
+			rt.retries.Add(1)
+		}
+		wk.requests.Inc()
+		br := new(bytes.Reader)
+		br.Reset(body)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, urlFor(wk), br)
+		if err != nil {
+			return nil, nil, err
+		}
+		req.Header["Content-Type"] = jsonContentType
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			wk.errs.Inc()
+			rt.member.kick(wk)
+			lastErr = err
+			continue
+		}
+		return resp, wk, nil
+	}
+	return nil, nil, lastErr
+}
+
+// ----- handlers ---------------------------------------------------------
+
+func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := rt.classify(w, r)
+	rt.latClassify.Observe(time.Since(start).Seconds())
+	rt.responses.With("/v1/classify", strconv.Itoa(code)).Inc()
+}
+
+// classify routes one /v1/classify request to its owning shard.
+//
+// fhc:hotpath classify runs once per routed classify request.
+func (rt *Router) classify(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		writeStatic(w, http.StatusMethodNotAllowed, methodJSON)
+		return http.StatusMethodNotAllowed
+	}
+	body, overflow, err := readBody(r.Body, rt.opt.MaxBodyBytes)
+	if overflow {
+		writeStatic(w, http.StatusRequestEntityTooLarge, tooLargeJSON)
+		return http.StatusRequestEntityTooLarge
+	}
+	if err != nil {
+		writeStatic(w, http.StatusBadRequest, badBodyJSON)
+		return http.StatusBadRequest
+	}
+	ct := r.Header.Get("Content-Type")
+	point := rt.pointForBody(ct, body)
+	suffix := ""
+	if rq := r.URL.RawQuery; rq != "" {
+		suffix = "?" + rq
+	}
+	return rt.forward(w, r, point, func(wk *Worker) string { return wk.classifyURL + suffix }, ct, body)
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := rt.batch(w, r)
+	rt.latBatch.Observe(time.Since(start).Seconds())
+	rt.responses.With("/v1/classify/batch", strconv.Itoa(code)).Inc()
+}
+
+// batch splits a /v1/classify/batch request per item, scatters each
+// item to the shard owning its cache key, runs the per-shard
+// sub-batches concurrently, and reassembles the results in request
+// order. Per-item isolation holds across the split: a corrupt item, an
+// unroutable item or a dead shard surfaces as that item's Error field,
+// never as a batch-level failure.
+func (rt *Router) batch(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		writeStatic(w, http.StatusMethodNotAllowed, methodJSON)
+		return http.StatusMethodNotAllowed
+	}
+	body, overflow, err := readBody(r.Body, rt.opt.MaxBodyBytes)
+	if overflow {
+		writeStatic(w, http.StatusRequestEntityTooLarge, tooLargeJSON)
+		return http.StatusRequestEntityTooLarge
+	}
+	if err != nil {
+		writeStatic(w, http.StatusBadRequest, badBodyJSON)
+		return http.StatusBadRequest
+	}
+
+	var breq httpserve.BatchRequest
+	if err := json.Unmarshal(body, &breq); err != nil {
+		// Undecodable batch: forward whole to a deterministic shard so
+		// the worker's decoder produces the canonical error.
+		point := fnv64aBytes(body)
+		return rt.forward(w, r, point, func(wk *Worker) string { return wk.batchURL }, "application/json", body)
+	}
+
+	ctx := r.Context()
+	if rt.opt.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.opt.RequestTimeout)
+		defer cancel()
+	}
+
+	results := make([]httpserve.ClassifyResponse, len(breq.Samples))
+	groups := map[*Worker][]int{}
+	var order []*Worker
+	for i := range breq.Samples {
+		it := &breq.Samples[i]
+		point := rt.pointForItem(it)
+		var cbuf [maxWorkers]*Worker
+		cands := rt.ring.candidates(point, cbuf[:0], 1)
+		if len(cands) == 0 {
+			rt.unroutable.Add(1)
+			results[i] = httpserve.ClassifyResponse{Exe: it.Exe, Error: "no ready workers"}
+			continue
+		}
+		wk := cands[0]
+		if _, ok := groups[wk]; !ok {
+			order = append(order, wk)
+		}
+		groups[wk] = append(groups[wk], i)
+	}
+
+	var wg sync.WaitGroup
+	for _, wk := range order {
+		idxs := groups[wk]
+		wg.Add(1)
+		go func(wk *Worker, idxs []int) {
+			defer wg.Done()
+			rt.batchShard(ctx, wk, &breq, idxs, results)
+		}(wk, idxs)
+	}
+	wg.Wait()
+
+	w.Header()["Content-Type"] = jsonContentType
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(httpserve.BatchResponse{Results: results})
+	return http.StatusOK
+}
+
+// batchShard forwards one shard's share of a batch and scatters the
+// per-item results back by original index. wk is the owner; if it dies
+// mid-batch the sub-request retries on the next shards on the ring,
+// and only if every shard fails do the items get error rows.
+func (rt *Router) batchShard(ctx context.Context, wk *Worker, breq *httpserve.BatchRequest, idxs []int, results []httpserve.ClassifyResponse) {
+	sub := httpserve.BatchRequest{Samples: make([]httpserve.ClassifyRequest, len(idxs))}
+	for j, i := range idxs {
+		sub.Samples[j] = breq.Samples[i]
+	}
+	payload, err := json.Marshal(sub)
+	if err != nil {
+		fillErrors(breq, idxs, results, "encode: "+err.Error())
+		return
+	}
+	// Retry candidates: the owner first (its "#0" vnode point resolves
+	// back to it while it is ready), then ring successors. If the owner
+	// was ejected after grouping, candidates starts at its successor —
+	// exactly where those keys now live.
+	point := fnv64a(wk.name + "#0")
+	var cbuf [maxWorkers]*Worker
+	cands := rt.ring.candidates(point, cbuf[:0], rt.opt.MaxAttempts)
+	if len(cands) == 0 {
+		cands = append(cbuf[:0], wk) // whole fleet ejected; try the owner anyway
+	}
+	resp, _, err := rt.tryWorkers(ctx, cands, func(wk *Worker) string { return wk.batchURL }, payload)
+	if err != nil {
+		fillErrors(breq, idxs, results, "shard unavailable")
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fillErrors(breq, idxs, results, "shard answered "+strconv.Itoa(resp.StatusCode))
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return
+	}
+	var bresp httpserve.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&bresp); err != nil || len(bresp.Results) != len(idxs) {
+		fillErrors(breq, idxs, results, "shard reply malformed")
+		return
+	}
+	for j, i := range idxs {
+		results[i] = bresp.Results[j]
+	}
+}
+
+// fillErrors writes one error row per affected batch item.
+func fillErrors(breq *httpserve.BatchRequest, idxs []int, results []httpserve.ClassifyResponse, msg string) {
+	for _, i := range idxs {
+		results[i] = httpserve.ClassifyResponse{Exe: breq.Samples[i].Exe, Error: msg}
+	}
+}
+
+func (rt *Router) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeStatic(w, http.StatusMethodNotAllowed, methodJSON)
+		return
+	}
+	var req httpserve.SwapRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil || req.Path == "" {
+		writeStatic(w, http.StatusBadRequest, badBodyJSON)
+		return
+	}
+	status, err := rt.coord.Rollout(req.Path)
+	switch {
+	case errors.Is(err, ErrRolloutBusy), errors.Is(err, ErrNoIncumbent):
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+	case err != nil:
+		// Failed rollout: the status carries the stage reached and the
+		// rollback outcome.
+		w.Header()["Content-Type"] = jsonContentType
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		_ = json.NewEncoder(w).Encode(status)
+	default:
+		writeJSON(w, http.StatusOK, status)
+	}
+}
+
+// clusterStatus is the /v1/cluster/status document.
+type clusterStatus struct {
+	Workers []WorkerState `json:"workers"`
+	Rollout RolloutStatus `json:"rollout"`
+	Stats   Stats         `json:"stats"`
+}
+
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeStatic(w, http.StatusMethodNotAllowed, methodJSON)
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterStatus{
+		Workers: rt.WorkerStates(),
+		Rollout: rt.coord.Status(),
+		Stats:   rt.Stats(),
+	})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// handleReadyz reports ready while at least one worker is admitted:
+// the router can still answer every key (all keys fall to the live
+// shards), just without the usual affinity spread.
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	for _, wk := range rt.workers {
+		if wk.Ready() {
+			w.WriteHeader(http.StatusOK)
+			_, _ = io.WriteString(w, "ok\n")
+			return
+		}
+	}
+	writeStatic(w, http.StatusServiceUnavailable, noReadyWorkersJSON)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeStatic(w, http.StatusMethodNotAllowed, methodJSON)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = rt.opt.Registry.WritePrometheus(w)
+}
+
+// writeJSON renders v; the non-hot control surface shares it.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header()["Content-Type"] = jsonContentType
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,67 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzParseHashFirst differentially checks the hash-first fast scanner
+// against encoding/json. The scanner's contract is one-directional
+// conservatism: it may reject anything (the request then takes the
+// full decoder), but whenever it accepts, its view of the request must
+// be bit-identical to what the slow path would have decoded — same
+// cache key, same exe echo, no keys silently skipped, no trailing
+// garbage tolerated. A divergence here would let one wire request
+// produce two different answers depending on which path won.
+func FuzzParseHashFirst(f *testing.F) {
+	const digest = "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+	seeds := []string{
+		`{"sha256":"` + digest + `"}`,
+		`{"sha256":"` + digest + `","exe":"blastn"}`,
+		`{"exe":"blastn","sha256":"` + digest + `"}`,
+		"  {\n\t\"sha256\" : \"" + digest + "\" }  ",
+		`{"sha256":"` + digest + `","exe":""}`,
+		`{"sha256":"` + strings.ToUpper(digest) + `"}`,
+		`{"sha256":"` + digest + `","exe":"aAb"}`, // escape: must bail
+		`{"sha256":"` + digest + `","binary_b64":"AAAA"}`,
+		`{"sha256":"short"}`,
+		`{"sha256":"` + digest + `"} trailing`,
+		`{"sha256":"` + digest + `",}`,
+		`{"sha256":` + digest + `}`,
+		`{"sha256":"` + digest + `","exe":"tab\tchar"}`,
+		`{"sha256":"` + digest + `","exe":"caf\xc3\xa9"}`, // UTF-8: must bail
+		`{}`,
+		`[]`,
+		``,
+		`{"sha256":"` + digest + `","sha256":"` + digest + `"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		key, exe, ok := ParseHashFirst(body)
+		if !ok {
+			return // rejection is always safe: the full decoder takes over
+		}
+		var req ClassifyRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			t.Fatalf("scanner accepted what encoding/json rejects: %v\nbody: %q", err, body)
+		}
+		want, err := parseSHA256(req.SHA256)
+		if err != nil {
+			t.Fatalf("scanner accepted an invalid sha256 %q\nbody: %q", req.SHA256, body)
+		}
+		if want != key {
+			t.Fatalf("cache key diverges: scanner %x, decoder %x\nbody: %q", key, want, body)
+		}
+		if req.Exe != string(exe) {
+			t.Fatalf("exe echo diverges: scanner %q, decoder %q\nbody: %q", exe, req.Exe, body)
+		}
+		// The scanner claims the request is hash-first-only; the decoder
+		// must agree that no body-carrying field was present.
+		if req.BinaryB64 != "" || req.Path != "" {
+			t.Fatalf("scanner skipped a body-carrying field\nbody: %q", body)
+		}
+	})
+}

@@ -633,7 +633,7 @@ func (s *Server) handleClassifyJSON(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if complete {
-		if key, exe, ok := parseHashFirst(buf[:n]); ok {
+		if key, exe, ok := ParseHashFirst(buf[:n]); ok {
 			if pred, hit := s.engine.Lookup(key); hit {
 				s.hashFirstHits.Inc()
 				writeClassifyResponse(w, exe, pred, true)
@@ -723,8 +723,12 @@ func skipSpace(b []byte, i int) int {
 }
 
 // scanPlainString scans a JSON string at b[i] containing no escape
-// sequences and no control characters, returning its contents and the
-// index past the closing quote. Anything fancier bails to the decoder.
+// sequences, no control characters and no bytes outside ASCII,
+// returning its contents and the index past the closing quote.
+// Anything fancier bails to the decoder. The ASCII bound is what keeps
+// the scanner bit-identical to encoding/json: the decoder rewrites
+// invalid UTF-8 to U+FFFD, so passing raw high bytes through here
+// could answer with an exe echo the slow path would never produce.
 func scanPlainString(b []byte, i int) (s []byte, rest int, ok bool) {
 	if i >= len(b) || b[i] != '"' {
 		return nil, 0, false
@@ -734,20 +738,22 @@ func scanPlainString(b []byte, i int) (s []byte, rest int, ok bool) {
 		if c == '"' {
 			return b[i+1 : j], j + 1, true
 		}
-		if c == '\\' || c < 0x20 {
+		if c == '\\' || c < 0x20 || c >= 0x80 {
 			return nil, 0, false
 		}
 	}
 	return nil, 0, false
 }
 
-// parseHashFirst recognises the exact hash-first request shape — one
+// ParseHashFirst recognises the exact hash-first request shape — one
 // flat JSON object whose keys are "sha256" and optionally "exe", with
 // plain string values — and extracts the prediction-cache key. It is
 // deliberately conservative: any other key, escape sequence or layout
 // reports !ok and the request goes through the full decoder, so the
 // fast scanner never changes what the API accepts, only what it costs.
-func parseHashFirst(body []byte) (key serve.Key, exe []byte, ok bool) {
+// Exported for the cluster router, which uses the same scanner to
+// resolve a hash-first probe to its owning shard without decoding.
+func ParseHashFirst(body []byte) (key serve.Key, exe []byte, ok bool) {
 	i := skipSpace(body, 0)
 	if i >= len(body) || body[i] != '{' {
 		return key, nil, false

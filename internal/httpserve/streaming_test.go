@@ -244,7 +244,7 @@ func TestParseHashFirst(t *testing.T) {
 		"  {\n\t\"sha256\" : \"" + digest + "\" }\r\n",
 	}
 	for _, in := range accept {
-		key, exe, ok := parseHashFirst([]byte(in))
+		key, exe, ok := ParseHashFirst([]byte(in))
 		if !ok {
 			t.Fatalf("scanner declined %q", in)
 		}
@@ -275,7 +275,7 @@ func TestParseHashFirst(t *testing.T) {
 		`{"sha256":12}`,
 	}
 	for _, in := range decline {
-		if _, _, ok := parseHashFirst([]byte(in)); ok {
+		if _, _, ok := ParseHashFirst([]byte(in)); ok {
 			t.Fatalf("scanner accepted %q", in)
 		}
 	}

@@ -47,13 +47,14 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // Packages lists the import paths the discipline applies to. Tests
-// append fixture paths; everything else sees the serving stack's four
+// append fixture paths; everything else sees the serving stack's
 // lock-heavy packages.
 var Packages = []string{
 	"repro/internal/serve",
 	"repro/internal/retrain",
 	"repro/internal/metrics",
 	"repro/internal/collector",
+	"repro/internal/cluster",
 }
 
 // ioPackages are treated as I/O wholesale: any call into them while
