@@ -14,6 +14,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/synth"
 )
 
@@ -140,6 +142,48 @@ func TestCmdTrainValidation(t *testing.T) {
 	if err := cmdTrain([]string{"-corpus", dir, "-model", filepath.Join(t.TempDir(), "m"),
 		"-kind", "perceptron", "-threshold", "0.3"}); err == nil {
 		t.Error("train with unregistered model kind accepted")
+	}
+	if err := cmdTrain([]string{"-corpus", dir, "-model", filepath.Join(t.TempDir(), "m"),
+		"-threshold", "0.3", "-calibrate", "0.7"}); err == nil {
+		t.Error("train with -calibrate >= 0.5 accepted")
+	}
+}
+
+// TestCmdTrainCalibrate drives the production path for calibrated
+// artifacts: train with -calibrate, confirm the calibration is
+// persisted inside the model file, and confirm a model reloaded from
+// that artifact serves verdicts.
+func TestCmdTrainCalibrate(t *testing.T) {
+	dir, binary := makeTree(t)
+	model := filepath.Join(t.TempDir(), "model-cal.json")
+	out, err := withStdout(t, func() error {
+		return cmdTrain([]string{"-corpus", dir, "-model", model,
+			"-threshold", "0.3", "-trees", "40", "-calibrate", "0.25"})
+	})
+	if err != nil {
+		t.Fatalf("train -calibrate: %v", err)
+	}
+	if !strings.Contains(out, "calibrated for open-set abstention") {
+		t.Fatalf("train output: %q", out)
+	}
+	clf, err := core.LoadFile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := clf.Calibration()
+	if cal == nil {
+		t.Fatal("artifact carries no calibration")
+	}
+	raw, err := os.ReadFile(binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, err := dataset.FromBinary("", "", "app", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := clf.Classify(&sample); p.Verdict == "" {
+		t.Fatalf("reloaded calibrated model predicts no verdict: %+v", p)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/model"
+	"repro/internal/openset"
 	"repro/internal/rf"
 	"repro/internal/synth"
 )
@@ -106,6 +107,8 @@ func cmdTrain(args []string) error {
 	seed := fs.Uint64("seed", experiments.DefaultSeed, "training seed")
 	trees := fs.Int("trees", 200, "Random Forest size (rf kind only)")
 	grid := fs.Bool("grid", false, "run the full hyper-parameter grid search (rf kind only)")
+	calFrac := fs.Float64("calibrate", 0,
+		"freeze this per-class fraction of the corpus as a holdout and tune open-set abstention thresholds on it; the calibration is persisted inside the model artifact (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -131,6 +134,16 @@ func cmdTrain(args []string) error {
 	if len(samples) == 0 {
 		return errors.New("no usable samples (need unstripped ELF executables in >= 3 versions per class)")
 	}
+	var calHold []dataset.Sample
+	if *calFrac != 0 {
+		if *calFrac < 0 || *calFrac >= 0.5 {
+			return errors.New("-calibrate must be in (0, 0.5): the model still has to train on most of each class")
+		}
+		samples, calHold = calibrationSplit(samples, *calFrac)
+		if len(calHold) == 0 {
+			return errors.New("-calibrate froze no samples: every class is too small to give up a member")
+		}
+	}
 	cfg := core.Config{
 		Model:     *kind,
 		Forest:    rf.Params{NumTrees: *trees},
@@ -144,6 +157,14 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
+	if len(calHold) > 0 {
+		// Thresholds tuned on samples the model never trained on; the
+		// calibration is saved inside the artifact below, so swaps and
+		// rollouts carry model and thresholds as one unit.
+		if _, err := clf.Calibrate(calHold, openset.CalibrateOptions{}); err != nil {
+			return fmt.Errorf("calibrate: %w", err)
+		}
+	}
 	f, err := os.Create(*modelPath)
 	if err != nil {
 		return err
@@ -152,9 +173,38 @@ func cmdTrain(args []string) error {
 	if err := clf.Save(f); err != nil {
 		return err
 	}
-	fmt.Printf("trained %s on %d samples, %d classes; threshold %.2f; model written to %s\n",
-		clf.ModelKind(), len(samples), len(clf.Classes()), clf.Threshold(), *modelPath)
+	calNote := ""
+	if len(calHold) > 0 {
+		calNote = fmt.Sprintf("; calibrated for open-set abstention on %d held-out samples", len(calHold))
+	}
+	fmt.Printf("trained %s on %d samples, %d classes; threshold %.2f%s; model written to %s\n",
+		clf.ModelKind(), len(samples), len(clf.Classes()), clf.Threshold(), calNote, *modelPath)
 	return nil
+}
+
+// calibrationSplit freezes a per-class fraction of the corpus for
+// abstention-threshold tuning: every k-th member of each class
+// (k = round(1/frac)) is held out in corpus order, so the thresholds
+// are tuned on samples the model never trained on, deterministically
+// and independently of the training seed. Classes too small to reach a
+// k-th member train whole; Calibrate falls back to global floors for
+// any class the holdout under-represents.
+func calibrationSplit(samples []dataset.Sample, frac float64) (trainSet, holdout []dataset.Sample) {
+	k := int(1/frac + 0.5)
+	if k < 2 {
+		k = 2
+	}
+	seen := map[string]int{}
+	for i := range samples {
+		n := seen[samples[i].Class]
+		seen[samples[i].Class] = n + 1
+		if n%k == k-1 {
+			holdout = append(holdout, samples[i])
+		} else {
+			trainSet = append(trainSet, samples[i])
+		}
+	}
+	return trainSet, holdout
 }
 
 // cmdClassify labels executables with a trained model.

@@ -38,6 +38,16 @@ package main
 // incumbent's holdout macro-F1 is hot-swapped in with zero downtime and
 // persisted under -retrain-artifacts. See OPERATIONS.md for the
 // runbook.
+//
+// A model artifact that carries an open-set calibration changes the
+// serving behaviour with zero extra configuration: every prediction on
+// either surface gains a verdict (class, unknown or ambiguous), a
+// population drift detector seeded from the calibration baseline
+// watches the served verdict stream and exports fhc_drift_* metrics,
+// and — with -retrain — a latched drift alarm kicks a retraining
+// cycle. Uncalibrated artifacts serve exactly as before; the verdict
+// field stays absent. See OPERATIONS.md, "Unknown verdicts and drift
+// alarms".
 
 import (
 	"bufio"
@@ -63,6 +73,7 @@ import (
 	"repro/internal/httpserve"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
+	"repro/internal/openset"
 	"repro/internal/retrain"
 	"repro/internal/serve"
 )
@@ -94,6 +105,7 @@ type serveResult struct {
 	Label      string         `json:"label,omitempty"`
 	Class      string         `json:"class,omitempty"`
 	Confidence float64        `json:"confidence,omitempty"`
+	Verdict    string         `json:"verdict,omitempty"`
 	Cached     bool           `json:"cached,omitempty"`
 	Findings   []serveFinding `json:"findings,omitempty"`
 	Reloaded   string         `json:"reloaded,omitempty"`
@@ -200,6 +212,17 @@ func cmdServe(args []string) error {
 	// the fhc_retrain_* series.
 	var rt *retrain.Retrainer
 	reg := metrics.NewRegistry()
+
+	// A calibrated artifact carries its own serving-population baseline,
+	// so drift detection needs no flags: seed a detector from the
+	// calibration and let every served verdict — stream or HTTP — feed
+	// it. Uncalibrated models predict no verdicts, so a detector would
+	// only ever see VerdictNone; skip it.
+	var det *openset.Detector
+	if cal := clf.Calibration(); cal != nil {
+		det = openset.NewDetector(cal.Baseline, openset.DriftOptions{Registry: reg})
+	}
+
 	if *retrainOn {
 		rt, err = retrain.New(engine, clf, retrain.Options{
 			Store:           retrain.StoreOptions{Cap: *retrainCap, Path: *retrainStore},
@@ -212,6 +235,7 @@ func cmdServe(args []string) error {
 			KeepArtifacts:   *retrainKeep,
 			Train:           core.Config{Model: clf.ModelKind(), Seed: *retrainSeed},
 			Registry:        reg,
+			Drift:           det,
 		})
 		if err != nil {
 			return err
@@ -221,8 +245,15 @@ func cmdServe(args []string) error {
 				fmt.Fprintf(os.Stderr, "fhc serve: retrain close: %v\n", err)
 			}
 		}()
+	}
+	if rt != nil || det != nil {
 		mon.SetObserver(func(e monitor.Event, pred core.Prediction, _ []monitor.Finding) {
-			rt.ObservePrediction(&e.Sample, pred)
+			if det != nil {
+				det.Observe(pred.Verdict, pred.Confidence)
+			}
+			if rt != nil {
+				rt.ObservePrediction(&e.Sample, pred)
+			}
 		})
 	}
 
@@ -245,6 +276,7 @@ func cmdServe(args []string) error {
 			Collector:     coll,
 			Retrainer:     rt,
 			Registry:      reg,
+			Drift:         det,
 		})
 		httpErr = make(chan error, 1)
 		go func() { httpErr <- hs.Serve(ln) }()
@@ -252,6 +284,11 @@ func cmdServe(args []string) error {
 		if serveHTTPBound != nil {
 			serveHTTPBound(ln.Addr().String(), requestStop)
 		}
+	} else if det != nil && rt != nil {
+		// Stream-only deployments still route drift alarms into a
+		// retraining cycle; with HTTP enabled, httpserve.New wires this
+		// same hook.
+		det.AddAlarmHook(func(string) { rt.KickDrift() })
 	}
 
 	out := bufio.NewWriter(os.Stdout)
@@ -277,6 +314,7 @@ func cmdServe(args []string) error {
 				results[i].Label = o.Prediction.Label
 				results[i].Class = o.Prediction.Class
 				results[i].Confidence = o.Prediction.Confidence
+				results[i].Verdict = string(o.Prediction.Verdict)
 				results[i].Cached = cachedFlags[j]
 				for _, f := range o.Findings {
 					results[i].Findings = append(results[i].Findings, serveFinding{
@@ -352,10 +390,19 @@ func cmdServe(args []string) error {
 					res.Error = fmt.Sprintf("line %d: %v", lineNo, err)
 				} else {
 					if rt != nil {
-						// Swap and gate-baseline reset, atomically.
+						// Swap, gate-baseline reset and drift re-baseline,
+						// atomically.
 						rt.InstallIncumbent(next)
 					} else {
 						engine.Swap(next)
+						// The drift window compares against the incumbent's
+						// calibration population; a reload that changes the
+						// model must move the baseline with it.
+						if det != nil {
+							if cal := next.Calibration(); cal != nil {
+								det.SetBaseline(cal.Baseline)
+							}
+						}
 					}
 					res.ModelKind = next.ModelKind()
 				}
@@ -437,6 +484,12 @@ func cmdServe(args []string) error {
 			fmt.Fprintf(os.Stderr,
 				"retrain: %d runs (%d promoted, %d rejected, %d failed), %d harvested, store %d samples over %d classes\n",
 				rs.Runs, rs.Promotions, rs.Rejections, rs.Failures, rs.Harvested, rs.StoreSize, len(rs.StorePerClass))
+		}
+		if det != nil {
+			ds := det.State()
+			fmt.Fprintf(os.Stderr,
+				"drift: %d observations, %d alarms (latched: %v), window %d, unknown rate %.3f vs baseline %.3f\n",
+				ds.Observations, ds.Alarms, ds.Alarmed, ds.WindowSize, ds.WindowUnknownRate, ds.BaselineUnknownRate)
 		}
 	}
 	return nil

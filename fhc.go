@@ -36,6 +36,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/model"
 	"repro/internal/monitor"
+	"repro/internal/openset"
 	"repro/internal/retrain"
 	"repro/internal/rf"
 	"repro/internal/serve"
@@ -170,11 +171,47 @@ type (
 	// HTTPRetrainResponse acknowledges a triggered cycle and, for
 	// waited requests, carries its result.
 	HTTPRetrainResponse = httpserve.RetrainResponse
+	// Verdict is the calibrated open-set decision attached to a
+	// Prediction: "class", "unknown" or "ambiguous" (see
+	// internal/openset).
+	Verdict = openset.Verdict
+	// Calibration is the versioned open-set abstention policy tuned by
+	// Classifier.Calibrate on a frozen holdout and persisted inside the
+	// model artifact, so hot swaps install model and thresholds as one
+	// atomic unit.
+	Calibration = openset.Calibration
+	// CalibrateOptions tunes Classifier.Calibrate's abstention budget.
+	CalibrateOptions = openset.CalibrateOptions
+	// DriftDetector watches served verdicts for population drift
+	// against a calibration baseline and latches an alarm — wire one
+	// into HTTPServerOptions.Drift and RetrainOptions.Drift so drifting
+	// traffic kicks a retraining cycle.
+	DriftDetector = openset.Detector
+	// DriftOptions configures a DriftDetector.
+	DriftOptions = openset.DriftOptions
+	// DriftState is a snapshot of a DriftDetector.
+	DriftState = openset.DriftState
+	// DriftBaseline is the expected verdict population a calibration
+	// records for its drift detector.
+	DriftBaseline = openset.Baseline
 )
 
 // UnknownLabel is the class label of samples that resemble no known
 // application class (the paper's "-1").
 const UnknownLabel = core.UnknownLabel
+
+// Calibrated open-set verdicts, as carried by Prediction.Verdict.
+const (
+	// VerdictClass: the prediction names a class with calibrated
+	// confidence, margin and distance evidence.
+	VerdictClass = openset.VerdictClass
+	// VerdictUnknown: the sample resembles no known class well enough;
+	// the label is demoted to UnknownLabel.
+	VerdictUnknown = openset.VerdictUnknown
+	// VerdictAmbiguous: two classes compete for the label; the raw
+	// label stands but self-training must not harvest it.
+	VerdictAmbiguous = openset.VerdictAmbiguous
+)
 
 // Feature kinds, in the order the paper introduces them.
 const (
@@ -266,6 +303,17 @@ func NewHTTPServer(engine *Engine, opt HTTPServerOptions) *HTTPServer {
 // exposition between the HTTP layer and application series.
 func NewMetricsRegistry() *MetricsRegistry {
 	return metrics.NewRegistry()
+}
+
+// NewDriftDetector builds a population-drift detector over a
+// calibration baseline (Calibration.Baseline from a calibrated
+// classifier). Feed it every served verdict — HTTPServerOptions.Drift
+// does this on all classify legs — and it latches an alarm when the
+// served confidence distribution or unknown-verdict rate departs from
+// the baseline. Share the same detector with RetrainOptions.Drift so a
+// promoted model re-baselines it atomically with the swap.
+func NewDriftDetector(base DriftBaseline, opt DriftOptions) *DriftDetector {
+	return openset.NewDetector(base, opt)
 }
 
 // NewRetrainer starts the continuous-learning loop over a serving

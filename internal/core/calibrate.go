@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/openset"
+)
+
+// Calibrate tunes an open-set abstention calibration for this
+// classifier on frozen holdout samples — samples the model never
+// trained on, such as the continuous-learning promotion-gate holdout —
+// and installs it atomically. Per-class margin and evidence floors are
+// set at opt.Quantile over the holdout predictions the raw closed-set
+// path got right, so the calibrated path gives up closed-set accuracy
+// only within that budget; holdout samples of classes the model does
+// not know are ignored. The calibration (drift baseline included) is
+// returned and rides Save/SaveFile into the model artifact, so a hot
+// swap or staged rollout installs model and thresholds as one unit.
+//
+// opt.Threshold defaults to the classifier's current confidence
+// threshold, keeping the calibrated rule consistent with the raw one.
+func (c *Classifier) Calibrate(holdout []dataset.Sample, opt openset.CalibrateOptions) (*openset.Calibration, error) {
+	if opt.Threshold == 0 {
+		opt.Threshold = c.Threshold()
+	}
+	wide := c.PredictProbaBatch(holdout)
+	n := len(c.profiles.classes)
+	probas := make([][]float64, len(wide))
+	evidence := make([][]float64, len(wide))
+	for i, row := range wide {
+		probas[i], evidence[i] = row[:n], row[n:]
+	}
+	cal, err := openset.Calibrate(c.Classes(), probas, evidence, c.Labels(holdout), opt)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := c.SetCalibration(cal); err != nil {
+		return nil, err
+	}
+	return cal, nil
+}

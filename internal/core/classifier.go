@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ml"
 	"repro/internal/model"
+	"repro/internal/openset"
 	"repro/internal/rf"
 	"repro/ssdeep"
 )
@@ -23,6 +24,12 @@ type Classifier struct {
 	// threshold is the confidence cut-off, stored as float bits so
 	// SetThreshold is safe while another goroutine serves predictions.
 	threshold atomic.Uint64
+
+	// calibration is the installed open-set abstention policy; nil
+	// keeps the raw closed-set behaviour. Atomic for the same reason as
+	// threshold: SetCalibration may run while another goroutine serves,
+	// and each prediction reads one consistent policy.
+	calibration atomic.Pointer[openset.Calibration]
 
 	// tuning is the threshold sweep recorded during training (Figure 3);
 	// nil when the threshold was fixed by configuration.
@@ -148,6 +155,36 @@ func (c *Classifier) SetThreshold(t float64) {
 	c.threshold.Store(math.Float64bits(t))
 }
 
+// Calibration returns the installed open-set calibration, or nil when
+// the classifier decides closed-set.
+func (c *Classifier) Calibration() *openset.Calibration {
+	return c.calibration.Load()
+}
+
+// SetCalibration installs (or, with nil, removes) the open-set
+// abstention policy. The calibration's class list must match the
+// classifier's exactly — a policy tuned for another model would index
+// the wrong floors. It is safe to call while other goroutines
+// classify: each prediction reads one consistent policy atomically.
+// Prefer Calibrate, which tunes and installs in one step; SetCalibration
+// is the install path for policies loaded from artifacts.
+func (c *Classifier) SetCalibration(cal *openset.Calibration) error {
+	if cal != nil {
+		if len(cal.Classes) != len(c.profiles.classes) {
+			return fmt.Errorf("core: calibration has %d classes, classifier has %d",
+				len(cal.Classes), len(c.profiles.classes))
+		}
+		for i, class := range cal.Classes {
+			if class != c.profiles.classes[i] {
+				return fmt.Errorf("core: calibration class %d is %q, classifier has %q",
+					i, class, c.profiles.classes[i])
+			}
+		}
+	}
+	c.calibration.Store(cal)
+	return nil
+}
+
 // TuningCurve returns the recorded threshold sweep (Figure 3), or nil if
 // the threshold was fixed.
 func (c *Classifier) TuningCurve() []ThresholdScore {
@@ -197,7 +234,7 @@ func (c *Classifier) Labels(samples []dataset.Sample) []int {
 // Classify predicts the application class of one sample.
 func (c *Classifier) Classify(s *dataset.Sample) Prediction {
 	x := c.profiles.featurize(s, c.distance)
-	return c.PredictFromProba(c.mdl.PredictProba(x))
+	return c.PredictFromProba(c.profiles.appendEvidence(c.mdl.PredictProba(x), x))
 }
 
 // ClassifyBatch predicts many samples with a bounded worker pool.
@@ -210,21 +247,83 @@ func (c *Classifier) ClassifyBatch(samples []dataset.Sample) []Prediction {
 	return out
 }
 
-// PredictProbaBatch featurises many samples and returns the model's
-// class-probability vector for each, without applying the confidence
-// threshold. Together with PredictFromProba this is the narrow surface a
-// serving layer needs to micro-batch classification: featurise and run
-// the model in one window, then apply the (atomically read) threshold
-// per delivered prediction.
+// PredictProbaBatch featurises many samples and returns, for each, the
+// model's class-probability vector widened with the per-class distance
+// evidence: row i has 2×|classes| columns — probabilities in model
+// class order, then each class's best fuzzy-hash similarity to the
+// sample (the open-set evidence channel) — and no threshold applied.
+// Together with PredictFromProba this is the narrow surface a serving
+// layer needs to micro-batch classification: featurise and run the
+// model in one window, then apply the (atomically read) threshold and
+// calibration per delivered prediction.
 func (c *Classifier) PredictProbaBatch(samples []dataset.Sample) [][]float64 {
 	X := c.profiles.featurizeBatch(samples, c.distance, c.cfg.Workers)
-	return c.mdl.PredictProbaBatch(X, c.cfg.Workers)
+	P := c.mdl.PredictProbaBatch(X, c.cfg.Workers)
+	for i := range P {
+		P[i] = c.profiles.appendEvidence(P[i], X[i])
+	}
+	return P
 }
 
-// PredictFromProba applies the confidence threshold to one probability
-// vector in model class order, as produced by PredictProbaBatch.
+// PredictFromProba applies the confidence threshold — and, when a
+// calibration is installed, the open-set abstention rule — to one
+// probability vector in model class order. It accepts both the widened
+// 2×|classes| rows PredictProbaBatch produces and bare |classes|
+// probability vectors (no evidence channel: the evidence floor is then
+// skipped and Evidence reports openset.FloorUnset). The raw closed-set
+// decision (decide) stays the differential oracle: with no calibration
+// installed the answer is bit-identical to it.
+//
+// fhc:hotpath
 func (c *Classifier) PredictFromProba(proba []float64) Prediction {
-	return decide(proba, c.profiles.classes, c.Threshold())
+	classes := c.profiles.classes
+	probs := proba
+	var ev []float64
+	if n := len(classes); len(proba) == 2*n {
+		probs, ev = proba[:n], proba[n:]
+	}
+	pred := decide(probs, classes, c.Threshold())
+	pred.Margin, pred.Evidence = marginEvidence(probs, ev)
+	if cal := c.calibration.Load(); cal != nil {
+		d := cal.Decide(probs, ev)
+		if pred.Label == UnknownLabel || d.Verdict == openset.VerdictUnknown {
+			// Either side abstaining abstains: the raw threshold may sit
+			// above the calibration's recorded one (the operator can raise
+			// it live), and the calibrated floors catch what raw
+			// confidence cannot. Label and verdict always agree.
+			pred.Verdict = openset.VerdictUnknown
+			pred.Label = UnknownLabel
+		} else {
+			pred.Verdict = d.Verdict
+		}
+	}
+	return pred
+}
+
+// marginEvidence derives the probability margin (top-1 minus top-2)
+// and the best class's evidence from one probability vector; evidence
+// is openset.FloorUnset when no evidence channel is present. The scan
+// breaks ties exactly as decide does (first index wins), so the two
+// always describe the same winning class.
+//
+// fhc:hotpath
+func marginEvidence(probs, ev []float64) (margin, evidence float64) {
+	best, p1, p2 := 0, -1.0, -1.0
+	for i, p := range probs {
+		if p > p1 {
+			best, p2, p1 = i, p1, p
+		} else if p > p2 {
+			p2 = p
+		}
+	}
+	if p2 < 0 {
+		p2 = 0 // single-class vector: the margin degenerates to p1
+	}
+	evidence = openset.FloorUnset
+	if best < len(ev) {
+		evidence = ev[best]
+	}
+	return p1 - p2, evidence
 }
 
 // decide is the single thresholding rule shared by serving-time

@@ -23,6 +23,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/knn"
 	"repro/internal/model"
+	"repro/internal/openset"
 	"repro/internal/rf"
 	"repro/internal/svm"
 	"repro/ssdeep"
@@ -230,11 +231,24 @@ func orDefaultInts(vals []int, def int) []int {
 // Prediction is the classifier's answer for one sample.
 type Prediction struct {
 	// Label is the predicted class, or UnknownLabel when confidence fell
-	// below the threshold.
+	// below the threshold (or a calibrated verdict demoted it).
 	Label string
 	// Class is the most probable known class even when Label is unknown;
 	// useful for triage ("unknown, but closest to X").
 	Class string
 	// Confidence is the Random Forest probability of Class.
 	Confidence float64
+	// Margin is the probability gap between the best and second-best
+	// class — the closed-set ambiguity signal the open-set calibration
+	// thresholds.
+	Margin float64
+	// Evidence is Class's fuzzy-hash distance evidence: the highest
+	// ssdeep similarity (0–100) between the sample and Class's training
+	// digests across feature kinds. openset.FloorUnset (-1) when the
+	// prediction was made from a bare probability vector.
+	Evidence float64
+	// Verdict is the calibrated open-set decision (class / unknown /
+	// ambiguous); empty when no calibration is installed, so the raw
+	// closed-set behaviour is unchanged.
+	Verdict openset.Verdict
 }

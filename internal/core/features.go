@@ -221,6 +221,28 @@ func (ps *profileSet) featurizeBatch(samples []dataset.Sample, dist ssdeep.Dista
 	return out
 }
 
+// appendEvidence appends the per-class open-set evidence of one
+// featurised sample to dst: for each class, the highest similarity the
+// sample showed to that class's training digests across all feature
+// kinds — the distance channel the calibrated abstention rule floors.
+// It reads the feature vector x already computed for the model, so the
+// evidence costs one O(kinds × classes) scan, no extra comparisons.
+//
+// fhc:hotpath
+func (ps *profileSet) appendEvidence(dst, x []float64) []float64 {
+	n := len(ps.classes)
+	for ci := 0; ci < n; ci++ {
+		best := 0.0
+		for k := range ps.features {
+			if v := x[k*n+ci]; v > best {
+				best = v
+			}
+		}
+		dst = append(dst, best)
+	}
+	return dst
+}
+
 // featureGroups returns, for each feature kind, the column range
 // [lo, hi) it occupies in the featurised vector; used to aggregate
 // Random-Forest importances into the paper's per-feature Table 5.

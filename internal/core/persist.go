@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/model"
+	"repro/internal/openset"
 	"repro/ssdeep"
 )
 
@@ -52,6 +53,11 @@ type modelDTO struct {
 	// Forest is the version-1 payload (implicitly kind "rf").
 	Forest json.RawMessage  `json:"forest,omitempty"`
 	Tuning []ThresholdScore `json:"tuning,omitempty"`
+	// Calibration is the optional open-set calibration blob
+	// (openset.Encode), persisted with the model so hot-swap and staged
+	// rollout install model and abstention thresholds atomically.
+	// Artifacts without it load closed-set, unchanged.
+	Calibration json.RawMessage `json:"calibration,omitempty"`
 }
 
 // Save serialises the classifier as JSON. The model is self-contained:
@@ -74,6 +80,13 @@ func (c *Classifier) Save(w io.Writer) error {
 	}
 	if dto.Distance == "" {
 		dto.Distance = string(DistanceDL)
+	}
+	if cal := c.calibration.Load(); cal != nil {
+		blob, err := cal.Encode()
+		if err != nil {
+			return fmt.Errorf("core: saving model: %w", err)
+		}
+		dto.Calibration = blob
 	}
 	for _, kind := range c.profiles.features {
 		dto.Features = append(dto.Features, int(kind))
@@ -214,6 +227,15 @@ func Load(r io.Reader) (*Classifier, error) {
 	}
 	if got, want := len(dto.Classes), mdl.NumClasses(); got != want {
 		return nil, fmt.Errorf("core: model inconsistency: %d classes vs %d model classes", got, want)
+	}
+	if !rawIsNull(dto.Calibration) {
+		cal, err := openset.Decode(dto.Calibration)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading model: %w", err)
+		}
+		if err := c.SetCalibration(cal); err != nil {
+			return nil, fmt.Errorf("core: loading model: %w", err)
+		}
 	}
 	return c, nil
 }

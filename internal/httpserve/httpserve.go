@@ -34,6 +34,13 @@
 // retrainer's incumbent so its promotion gate keeps comparing against
 // what actually serves (see internal/retrain and OPERATIONS.md).
 //
+// When the served model carries an open-set calibration, every classify
+// response — all three /v1/classify protocols and the batch route —
+// additionally reports a "verdict" field ("class", "unknown" or
+// "ambiguous"; see internal/openset). With Options.Drift configured the
+// same verdict stream feeds a population-level drift detector, and a
+// drift alarm kicks the retrainer when one is attached.
+//
 // The layer is production-shaped without being a framework: request
 // bodies are size-limited, classification routes sit behind a
 // concurrency semaphore that answers 429 when saturated (backpressure
@@ -75,6 +82,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/openset"
 	"repro/internal/retrain"
 	"repro/internal/serve"
 )
@@ -128,6 +136,13 @@ type Options struct {
 	// /v1/retrain/status reports it, and manual swaps update its
 	// incumbent. The caller keeps ownership (and Closes it).
 	Retrainer *retrain.Retrainer
+	// Drift, when non-nil, receives every served verdict (all classify
+	// protocols, cache hits included) so population-level drift is
+	// measured over exactly the traffic the server answered. When a
+	// Retrainer is also configured, a drift alarm kicks a retraining
+	// cycle. The caller keeps ownership; share one detector between
+	// this server and retrain.Options.Drift so installs re-baseline it.
+	Drift *openset.Detector
 	// Registry receives the server's metrics. A nil value creates a
 	// private registry, exposed on GET /metrics either way.
 	Registry *metrics.Registry
@@ -196,6 +211,13 @@ func New(engine *serve.Engine, opt Options) *Server {
 		ReadTimeout:       opt.ReadTimeout,
 	}
 	s.registerMetrics()
+	if opt.Drift != nil && opt.Retrainer != nil {
+		// A population-level drift alarm is the signal the paper's
+		// deployment lacks a human for: route it straight into a
+		// retraining cycle. KickDrift is asynchronous, so the alarm hook
+		// never blocks the classify path that observed the drift.
+		opt.Drift.AddAlarmHook(func(string) { opt.Retrainer.KickDrift() })
+	}
 
 	s.mux.Handle("/v1/classify", s.instrument("/v1/classify", http.MethodPost, true, s.handleClassify))
 	s.mux.Handle("/v1/classify/batch", s.instrument("/v1/classify/batch", http.MethodPost, true, s.handleBatch))
@@ -338,7 +360,10 @@ type ClassifyRequest struct {
 	SHA256 string `json:"sha256,omitempty"`
 }
 
-// ClassifyResponse is one prediction. Cached reports an extraction-cache
+// ClassifyResponse is one prediction. Verdict is the open-set decision
+// ("class", "unknown" or "ambiguous") and is omitted when the served
+// model carries no calibration, so closed-set deployments see the exact
+// response shape they always did. Cached reports an extraction-cache
 // hit (the binary was seen before); Error is set on per-item failures in
 // batch responses.
 type ClassifyResponse struct {
@@ -346,6 +371,7 @@ type ClassifyResponse struct {
 	Label      string  `json:"label,omitempty"`
 	Class      string  `json:"class,omitempty"`
 	Confidence float64 `json:"confidence,omitempty"`
+	Verdict    string  `json:"verdict,omitempty"`
 	Cached     bool    `json:"cached,omitempty"`
 	Error      string  `json:"error,omitempty"`
 }
@@ -596,6 +622,7 @@ func (s *Server) handleClassifyRaw(w http.ResponseWriter, r *http.Request) {
 	}
 	pred := s.engine.Classify(&sample)
 	s.harvest(&sample, pred)
+	s.observe(pred)
 	writeClassifyResponse(w, exe, pred, cached)
 }
 
@@ -636,6 +663,7 @@ func (s *Server) handleClassifyJSON(w http.ResponseWriter, r *http.Request) {
 		if key, exe, ok := ParseHashFirst(buf[:n]); ok {
 			if pred, hit := s.engine.Lookup(key); hit {
 				s.hashFirstHits.Inc()
+				s.observe(pred)
 				writeClassifyResponse(w, exe, pred, true)
 				return
 			}
@@ -678,6 +706,7 @@ func (s *Server) classifySlow(w http.ResponseWriter, r *http.Request, prefix []b
 		}
 		if pred, hit := s.engine.Lookup(key); hit {
 			s.hashFirstHits.Inc()
+			s.observe(pred)
 			writeClassifyResponse(w, req.Exe, pred, true)
 			return
 		}
@@ -691,6 +720,7 @@ func (s *Server) classifySlow(w http.ResponseWriter, r *http.Request, prefix []b
 	}
 	pred := s.engine.Classify(&sample)
 	s.harvest(&sample, pred)
+	s.observe(pred)
 	writeClassifyResponse(w, req.Exe, pred, cached)
 }
 
@@ -869,6 +899,13 @@ func writeClassifyResponse[T string | []byte](w http.ResponseWriter, exe T, pred
 		buf = append(buf, `"confidence":`...)
 		buf = appendJSONFloat(buf, pred.Confidence)
 	}
+	if pred.Verdict != "" {
+		if len(buf) > 1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `"verdict":`...)
+		buf = appendJSONString(buf, string(pred.Verdict))
+	}
 	if cached {
 		if len(buf) > 1 {
 			buf = append(buf, ',')
@@ -935,6 +972,17 @@ func (s *Server) harvest(sample *dataset.Sample, pred core.Prediction) {
 	}
 }
 
+// observe feeds one served verdict to the drift detector, when one is
+// configured. Cache hits are observed too: drift is a property of the
+// traffic population, not of which path answered.
+//
+// fhc:hotpath
+func (s *Server) observe(pred core.Prediction) {
+	if s.opt.Drift != nil {
+		s.opt.Drift.Observe(pred.Verdict, pred.Confidence)
+	}
+}
+
 // handleBatch classifies many binaries through one ClassifyAll call, so
 // a submitted burst fans into shared engine windows instead of N
 // sequential classifications. Items that fail resolution or extraction
@@ -975,9 +1023,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			if pred, hit := s.engine.Lookup(key); hit {
 				s.hashFirstHits.Inc()
+				s.observe(pred)
 				resp.Results[i] = ClassifyResponse{
 					Exe: item.Exe, Label: pred.Label, Class: pred.Class,
-					Confidence: pred.Confidence, Cached: true,
+					Confidence: pred.Confidence, Verdict: string(pred.Verdict), Cached: true,
 				}
 			} else {
 				resp.Results[i].Error = "needs_body"
@@ -996,11 +1045,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		preds := s.engine.ClassifyAll(batch)
 		for j, sl := range good {
 			s.harvest(&batch[j], preds[j])
+			s.observe(preds[j])
 			resp.Results[sl.index] = ClassifyResponse{
 				Exe:        req.Samples[sl.index].Exe,
 				Label:      preds[j].Label,
 				Class:      preds[j].Class,
 				Confidence: preds[j].Confidence,
+				Verdict:    string(preds[j].Verdict),
 				Cached:     sl.cached,
 			}
 		}
@@ -1045,6 +1096,15 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 		rt.InstallIncumbent(next)
 	} else {
 		s.engine.Swap(next)
+	}
+	// Re-baseline the drift detector from the installed model's own
+	// calibration so post-swap traffic is never tested against the old
+	// model's expected distribution. Redundant (and harmless) when the
+	// retrainer shares the detector and already re-baselined in install.
+	if d := s.opt.Drift; d != nil {
+		if cal := next.Calibration(); cal != nil {
+			d.SetBaseline(cal.Baseline)
+		}
 	}
 	writeJSON(w, http.StatusOK, SwapResponse{
 		ModelKind: next.ModelKind(),

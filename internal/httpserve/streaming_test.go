@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/collector"
 	"repro/internal/core"
+	"repro/internal/openset"
 	"repro/internal/serve"
 )
 
@@ -296,6 +297,9 @@ func TestWriteClassifyResponseParity(t *testing.T) {
 		{"empty-pred", core.Prediction{}, false},
 		{"", core.Prediction{}, false},
 		{"tiny", core.Prediction{Label: "x", Confidence: 5e-08}, true},
+		{"verdict-class", core.Prediction{Label: "Alpha 1.0", Class: "Alpha", Confidence: 0.875, Verdict: openset.VerdictClass}, true},
+		{"verdict-unknown", core.Prediction{Label: "unknown", Confidence: 0.25, Verdict: openset.VerdictUnknown}, false},
+		{"verdict-ambiguous", core.Prediction{Label: "Beta 2", Class: "Beta", Confidence: 0.5, Verdict: openset.VerdictAmbiguous}, true},
 	}
 	for _, tc := range cases {
 		rec := httptest.NewRecorder()
@@ -303,7 +307,7 @@ func TestWriteClassifyResponseParity(t *testing.T) {
 		var want bytes.Buffer
 		if err := json.NewEncoder(&want).Encode(ClassifyResponse{
 			Exe: tc.exe, Label: tc.pred.Label, Class: tc.pred.Class,
-			Confidence: tc.pred.Confidence, Cached: tc.cached,
+			Confidence: tc.pred.Confidence, Verdict: string(tc.pred.Verdict), Cached: tc.cached,
 		}); err != nil {
 			t.Fatal(err)
 		}

@@ -109,7 +109,9 @@ type Finding struct {
 // registers one to harvest labelled windows off the monitoring stream.
 // Observers run synchronously on the observing goroutine, outside the
 // monitor's locks, so they may call back into the monitor but should
-// return quickly.
+// return quickly. A panicking observer is recovered: monitoring is the
+// serve loop's side channel, and a buggy hook must not take down the
+// classification path that invoked it.
 type Observer func(e Event, pred core.Prediction, findings []Finding)
 
 // Monitor labels job events and applies policy. It is safe for
@@ -166,12 +168,15 @@ func (m *Monitor) SetObserver(fn Observer) {
 }
 
 // notify delivers one observation to the registered observer, if any,
-// outside the monitor's locks.
+// outside the monitor's locks. An observer panic is swallowed here —
+// the observation itself (prediction, findings, history) is already
+// complete, so the caller's result is unaffected.
 func (m *Monitor) notify(e Event, pred core.Prediction, findings []Finding) {
 	m.mu.Lock()
 	fn := m.observer
 	m.mu.Unlock()
 	if fn != nil {
+		defer func() { _ = recover() }()
 		fn(e, pred, findings)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/openset"
 )
 
 // stubLabeler labels samples by their Class field with fixed confidence,
@@ -302,5 +303,92 @@ func TestObserverReceivesEveryObservation(t *testing.T) {
 	m.Observe(events[0])
 	if len(got) != 2 {
 		t.Fatalf("removed observer still invoked: %+v", got)
+	}
+}
+
+// verdictLabeler returns a fixed prediction per class, letting tests
+// drive the open-set verdict channel through the monitoring path.
+type verdictLabeler struct {
+	preds map[string]core.Prediction
+}
+
+func (v *verdictLabeler) Classify(sample *dataset.Sample) core.Prediction {
+	return v.preds[sample.Class]
+}
+
+// TestObserverHooks is the table-driven contract for observer delivery:
+// every verdict shape reaches the observer intact, and a panicking
+// observer never takes down the observing (serve) goroutine or changes
+// the caller's result.
+func TestObserverHooks(t *testing.T) {
+	labeler := &verdictLabeler{preds: map[string]core.Prediction{
+		"BLAST": {Label: "BLAST", Class: "BLAST", Confidence: 0.95, Verdict: openset.VerdictClass},
+		"Mystery": {Label: core.UnknownLabel, Class: "BLAST", Confidence: 0.41,
+			Verdict: openset.VerdictUnknown},
+		"Border": {Label: "GROMACS", Class: "GROMACS", Confidence: 0.62,
+			Verdict: openset.VerdictAmbiguous},
+		"Legacy": {Label: "BLAST", Class: "BLAST", Confidence: 0.9}, // no calibration
+	}}
+
+	cases := []struct {
+		name        string
+		class       string
+		panics      bool // the observer panics on delivery
+		wantLabel   string
+		wantVerdict openset.Verdict
+		wantKinds   []FindingKind
+	}{
+		{name: "class verdict", class: "BLAST",
+			wantLabel: "BLAST", wantVerdict: openset.VerdictClass},
+		{name: "unknown verdict demotes to the unknown finding", class: "Mystery",
+			wantLabel: core.UnknownLabel, wantVerdict: openset.VerdictUnknown,
+			wantKinds: []FindingKind{UnknownApplication}},
+		{name: "ambiguous verdict keeps the label", class: "Border",
+			wantLabel: "GROMACS", wantVerdict: openset.VerdictAmbiguous},
+		{name: "no calibration leaves the verdict empty", class: "Legacy",
+			wantLabel: "BLAST", wantVerdict: ""},
+		{name: "panicking observer is contained", class: "Mystery", panics: true,
+			wantLabel: core.UnknownLabel, wantVerdict: openset.VerdictUnknown,
+			wantKinds: []FindingKind{UnknownApplication}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New(labeler, Policy{})
+			var got []core.Prediction
+			m.SetObserver(func(_ Event, pred core.Prediction, _ []Finding) {
+				got = append(got, pred)
+				if tc.panics {
+					panic("observer bug")
+				}
+			})
+			e := event("j1", "alice", "", tc.class)
+
+			pred, findings := m.Observe(e) // must not panic through
+			if pred.Label != tc.wantLabel || pred.Verdict != tc.wantVerdict {
+				t.Fatalf("Observe = label %q verdict %q, want %q/%q",
+					pred.Label, pred.Verdict, tc.wantLabel, tc.wantVerdict)
+			}
+			if len(findings) != len(tc.wantKinds) {
+				t.Fatalf("findings %+v, want kinds %v", findings, tc.wantKinds)
+			}
+			for i, k := range tc.wantKinds {
+				if findings[i].Kind != k {
+					t.Fatalf("finding %d kind %v, want %v", i, findings[i].Kind, k)
+				}
+			}
+			if len(got) != 1 || got[0].Verdict != tc.wantVerdict {
+				t.Fatalf("observer saw %+v, want one prediction with verdict %q", got, tc.wantVerdict)
+			}
+
+			// The monitor must stay fully usable after an observer panic:
+			// the same event observed again still delivers.
+			obs := m.ObserveAll([]Event{e})
+			if len(obs) != 1 || obs[0].Prediction.Label != tc.wantLabel {
+				t.Fatalf("ObserveAll after panic = %+v", obs)
+			}
+			if len(got) != 2 {
+				t.Fatalf("observer saw %d deliveries, want 2", len(got))
+			}
+		})
 	}
 }

@@ -1,0 +1,125 @@
+package openset
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// BlobVersion is the current calibration-blob format version. Decode
+// accepts exactly the versions it knows; an unknown version is an
+// error, never a guess — a serving process must refuse thresholds it
+// cannot interpret rather than decide with garbage.
+const BlobVersion = 1
+
+// blobDTO is the versioned envelope the calibration persists as.
+type blobDTO struct {
+	Version     int          `json:"version"`
+	Calibration *Calibration `json:"calibration"`
+}
+
+// Encode serialises the calibration as a versioned JSON blob, the form
+// embedded in the model artifact.
+func (c *Calibration) Encode() ([]byte, error) {
+	if err := c.validate(); err != nil {
+		return nil, fmt.Errorf("openset: encoding calibration: %w", err)
+	}
+	data, err := json.Marshal(blobDTO{Version: BlobVersion, Calibration: c})
+	if err != nil {
+		return nil, fmt.Errorf("openset: encoding calibration: %w", err)
+	}
+	return data, nil
+}
+
+// Decode parses a calibration blob written by Encode, validating the
+// version and every structural invariant Decide relies on, so a
+// corrupt or truncated artifact is rejected at load time instead of
+// producing nonsense verdicts at serve time.
+func Decode(data []byte) (*Calibration, error) {
+	var dto blobDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return nil, fmt.Errorf("openset: decoding calibration: %w", err)
+	}
+	if dto.Version != BlobVersion {
+		return nil, fmt.Errorf("openset: unsupported calibration blob version %d", dto.Version)
+	}
+	if dto.Calibration == nil {
+		return nil, fmt.Errorf("openset: calibration blob has no calibration")
+	}
+	if err := dto.Calibration.validate(); err != nil {
+		return nil, fmt.Errorf("openset: decoding calibration: %w", err)
+	}
+	return dto.Calibration, nil
+}
+
+// validate checks the structural invariants shared by Encode and
+// Decode: per-class floor slices shaped to the class list, floors
+// either FloorUnset or finite and in range, a finite baseline whose
+// histogram has exactly BaselineBins non-negative bins.
+func (c *Calibration) validate() error {
+	if len(c.Classes) == 0 {
+		return fmt.Errorf("calibration has no classes")
+	}
+	for i, class := range c.Classes {
+		if class == "" {
+			return fmt.Errorf("calibration class %d is empty", i)
+		}
+	}
+	if len(c.MarginFloor) != len(c.Classes) || len(c.EvidenceFloor) != len(c.Classes) {
+		return fmt.Errorf("calibration floor shape: %d margin / %d evidence floors for %d classes",
+			len(c.MarginFloor), len(c.EvidenceFloor), len(c.Classes))
+	}
+	if err := validFloor("threshold", c.Threshold, 1); err != nil {
+		return err
+	}
+	if err := validFloor("global margin floor", c.GlobalMarginFloor, 1); err != nil {
+		return err
+	}
+	if err := validFloor("global evidence floor", c.GlobalEvidenceFloor, 100); err != nil {
+		return err
+	}
+	for i := range c.MarginFloor {
+		if c.MarginFloor[i] != FloorUnset {
+			if err := validFloor("margin floor", c.MarginFloor[i], 1); err != nil {
+				return fmt.Errorf("class %q: %w", c.Classes[i], err)
+			}
+		}
+		if c.EvidenceFloor[i] != FloorUnset {
+			if err := validFloor("evidence floor", c.EvidenceFloor[i], 100); err != nil {
+				return fmt.Errorf("class %q: %w", c.Classes[i], err)
+			}
+		}
+	}
+	if c.Quantile < 0 || c.Quantile >= 1 || math.IsNaN(c.Quantile) {
+		return fmt.Errorf("calibration quantile %v outside [0, 1)", c.Quantile)
+	}
+	b := c.Baseline
+	if len(b.ConfidenceHist) != BaselineBins {
+		return fmt.Errorf("baseline histogram has %d bins, want %d", len(b.ConfidenceHist), BaselineBins)
+	}
+	sum := 0.0
+	for i, p := range b.ConfidenceHist {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("baseline histogram bin %d is %v, outside [0, 1]", i, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("baseline histogram sums to %v, want 1", sum)
+	}
+	if b.UnknownRate < 0 || b.UnknownRate > 1 || math.IsNaN(b.UnknownRate) {
+		return fmt.Errorf("baseline unknown rate %v outside [0, 1]", b.UnknownRate)
+	}
+	if b.Samples <= 0 {
+		return fmt.Errorf("baseline has %d samples", b.Samples)
+	}
+	return nil
+}
+
+// validFloor rejects NaN, infinities and out-of-range floor values.
+func validFloor(what string, v, max float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > max {
+		return fmt.Errorf("calibration %s %v outside [0, %v]", what, v, max)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package openset
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestOpenSetCodecRoundTrip(t *testing.T) {
+	cal := testCalibration()
+	blob, err := cal.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cal) {
+		t.Fatalf("round trip changed the calibration:\n got %+v\nwant %+v", got, cal)
+	}
+}
+
+func TestOpenSetCodecRejectsVersions(t *testing.T) {
+	cal := testCalibration()
+	blob, err := cal.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dto map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &dto); err != nil {
+		t.Fatal(err)
+	}
+	dto["version"] = json.RawMessage("99")
+	bad, _ := json.Marshal(dto)
+	if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("Decode accepted an unknown blob version: %v", err)
+	}
+	if _, err := Decode([]byte(`{"version":1}`)); err == nil {
+		t.Fatal("Decode accepted a blob with no calibration")
+	}
+	if _, err := Decode([]byte(`{`)); err == nil {
+		t.Fatal("Decode accepted malformed JSON")
+	}
+}
+
+// TestOpenSetCodecRejectsInvalid mutates one field at a time and checks
+// every structural invariant Decide relies on is enforced at decode.
+func TestOpenSetCodecRejectsInvalid(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(c *Calibration)
+	}{
+		{"no classes", func(c *Calibration) { c.Classes = nil }},
+		{"empty class name", func(c *Calibration) { c.Classes[1] = "" }},
+		{"margin floor shape", func(c *Calibration) { c.MarginFloor = c.MarginFloor[:1] }},
+		{"evidence floor shape", func(c *Calibration) { c.EvidenceFloor = append(c.EvidenceFloor, 1) }},
+		{"NaN threshold", func(c *Calibration) { c.Threshold = math.NaN() }},
+		{"threshold above 1", func(c *Calibration) { c.Threshold = 1.5 }},
+		{"negative global margin floor", func(c *Calibration) { c.GlobalMarginFloor = -0.1 }},
+		{"inf global evidence floor", func(c *Calibration) { c.GlobalEvidenceFloor = math.Inf(1) }},
+		{"evidence floor above 100", func(c *Calibration) { c.EvidenceFloor[0] = 101 }},
+		{"margin floor above 1", func(c *Calibration) { c.MarginFloor[0] = 2 }},
+		{"per-class floor below unset", func(c *Calibration) { c.MarginFloor[0] = -2 }},
+		{"quantile at 1", func(c *Calibration) { c.Quantile = 1 }},
+		{"short histogram", func(c *Calibration) {
+			c.Baseline.ConfidenceHist = c.Baseline.ConfidenceHist[:BaselineBins-1]
+		}},
+		{"negative histogram bin", func(c *Calibration) {
+			c.Baseline.ConfidenceHist[0] = -0.1
+			c.Baseline.ConfidenceHist[BaselineBins-1] = 1.1
+		}},
+		{"histogram does not sum to 1", func(c *Calibration) {
+			c.Baseline.ConfidenceHist[0] = 0.5
+		}},
+		{"unknown rate above 1", func(c *Calibration) { c.Baseline.UnknownRate = 1.5 }},
+		{"zero baseline samples", func(c *Calibration) { c.Baseline.Samples = 0 }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			cal := testCalibration()
+			// Deep-copy the slices the mutation may alias.
+			cal.Classes = append([]string(nil), cal.Classes...)
+			cal.MarginFloor = append([]float64(nil), cal.MarginFloor...)
+			cal.EvidenceFloor = append([]float64(nil), cal.EvidenceFloor...)
+			cal.Baseline.ConfidenceHist = append([]float64(nil), cal.Baseline.ConfidenceHist...)
+			tc.mutate(cal)
+			if err := cal.validate(); err == nil {
+				t.Fatal("validate accepted the mutated calibration")
+			}
+			if _, err := cal.Encode(); err == nil {
+				t.Fatal("Encode accepted the mutated calibration")
+			}
+			// A hand-forged blob with the same defect must fail Decode.
+			raw, err := json.Marshal(blobDTO{Version: BlobVersion, Calibration: cal})
+			if err != nil {
+				t.Skipf("mutation not representable in JSON: %v", err)
+			}
+			if _, err := Decode(raw); err == nil {
+				t.Fatal("Decode accepted the mutated blob")
+			}
+		})
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes through the blob decoder: it must
+// never panic, and anything it accepts must validate and re-encode.
+func FuzzDecode(f *testing.F) {
+	cal := testCalibration()
+	blob, err := cal.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte(`{"version":1,"calibration":null}`))
+	f.Add([]byte(`{"version":1,"calibration":{}}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"version":1,"calibration":{"classes":["a"],"margin_floor":[0.5],` +
+		`"evidence_floor":[-1],"quantile":0.5,"baseline":{"confidence_hist":` +
+		`[1,0,0,0,0,0,0,0,0,0],"unknown_rate":0,"samples":1}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := got.validate(); err != nil {
+			t.Fatalf("Decode returned an invalid calibration: %v", err)
+		}
+		re, err := got.Encode()
+		if err != nil {
+			t.Fatalf("accepted calibration failed to re-encode: %v", err)
+		}
+		again, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded blob failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(again, got) {
+			t.Fatalf("re-encode round trip diverged:\n got %+v\nwant %+v", again, got)
+		}
+		// The decision function must be total on whatever decodes.
+		got.Decide([]float64{0.6, 0.4}, []float64{50, 50})
+		got.Decide(nil, nil)
+	})
+}

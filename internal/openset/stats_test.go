@@ -1,0 +1,224 @@
+package openset_test
+
+// The statistical acceptance harness for open-set recognition: train on
+// synthetic known classes, calibrate on a frozen holdout, then prove on
+// held-out traffic that (a) novel applications are recognised as
+// unknown at high recall and (b) the calibrated path gives up almost
+// none of the raw path's closed-set accuracy. This is the external-
+// package half of the openset tests: it exercises the full
+// core.Classifier integration the unit tests cannot see.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/openset"
+	"repro/internal/rf"
+	"repro/internal/synth"
+)
+
+// openSetWorld is one generated open-set evaluation universe.
+type openSetWorld struct {
+	clf     *core.Classifier
+	holdout []dataset.Sample // frozen, for calibration
+	eval    []dataset.Sample // known classes, never seen by calibration
+	novel   []dataset.Sample // classes the model never trained on
+}
+
+// buildOpenSetWorld trains a classifier on the known classes of a
+// synthetic open-set corpus and splits the remainder into a calibration
+// holdout, a known-class evaluation set and a novel-class set.
+func buildOpenSetWorld(t *testing.T, seed uint64) *openSetWorld {
+	t.Helper()
+	specs := synth.OpenSetManifest(6, 3, 44)
+	corpus, err := synth.Generate(specs, synth.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := dataset.FromCorpus(corpus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := ml.SplitTwoPhase(samples, ml.SplitOptions{Mode: ml.PaperSplit, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []dataset.Sample
+	for _, i := range split.TrainIdx {
+		train = append(train, samples[i])
+	}
+	clf, err := core.Train(train, core.Config{
+		Threshold: 0.3,
+		Forest:    rf.Params{NumTrees: 60},
+		Seed:      99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &openSetWorld{clf: clf}
+	knownSeen := 0
+	for _, i := range split.TestIdx {
+		s := samples[i]
+		switch {
+		case s.UnknownClass:
+			w.novel = append(w.novel, s)
+		case knownSeen%2 == 0:
+			w.holdout = append(w.holdout, s)
+			knownSeen++
+		default:
+			w.eval = append(w.eval, s)
+			knownSeen++
+		}
+	}
+	if len(w.holdout) == 0 || len(w.eval) == 0 || len(w.novel) == 0 {
+		t.Fatalf("degenerate split: %d holdout / %d eval / %d novel",
+			len(w.holdout), len(w.eval), len(w.novel))
+	}
+	return w
+}
+
+// isOpenSetReject reports whether a prediction refuses to name a class.
+func isOpenSetReject(p core.Prediction) bool {
+	return p.Label == core.UnknownLabel || p.Verdict == openset.VerdictUnknown
+}
+
+// TestOpenSetStatisticalAcceptance is the headline acceptance gate:
+// >= 90% open-set recall on novel classes at <= 2 points of closed-set
+// accuracy given up against the raw-path oracle.
+func TestOpenSetStatisticalAcceptance(t *testing.T) {
+	w := buildOpenSetWorld(t, 404)
+
+	// The raw closed-set oracle: the same model, before calibration.
+	rawEval := make([]core.Prediction, len(w.eval))
+	for i := range w.eval {
+		rawEval[i] = w.clf.Classify(&w.eval[i])
+		if rawEval[i].Verdict != "" {
+			t.Fatalf("uncalibrated classifier produced verdict %q", rawEval[i].Verdict)
+		}
+	}
+	rawNovelRejects := 0
+	for i := range w.novel {
+		if isOpenSetReject(w.clf.Classify(&w.novel[i])) {
+			rawNovelRejects++
+		}
+	}
+
+	cal, err := w.clf.Calibrate(w.holdout, openset.CalibrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Threshold != w.clf.Threshold() {
+		t.Fatalf("calibration threshold %v, classifier threshold %v",
+			cal.Threshold, w.clf.Threshold())
+	}
+
+	// Closed-set accuracy: the calibrated path may turn a correct label
+	// into unknown (abstention) but never into a different class.
+	rawCorrect, calCorrect := 0, 0
+	for i := range w.eval {
+		pred := w.clf.Classify(&w.eval[i])
+		if pred.Verdict == "" {
+			t.Fatalf("calibrated classifier left verdict empty: %+v", pred)
+		}
+		if rawEval[i].Label == w.eval[i].Class {
+			rawCorrect++
+		}
+		if pred.Label == w.eval[i].Class {
+			calCorrect++
+		}
+		if pred.Label != rawEval[i].Label && pred.Verdict != openset.VerdictUnknown {
+			t.Fatalf("calibration changed label %q -> %q with verdict %q; only unknown may demote",
+				rawEval[i].Label, pred.Label, pred.Verdict)
+		}
+	}
+	rawAcc := float64(rawCorrect) / float64(len(w.eval))
+	calAcc := float64(calCorrect) / float64(len(w.eval))
+	// The harness is only meaningful at a healthy operating point: if
+	// the raw path cannot classify known traffic, "everything unknown"
+	// would pass the recall gate vacuously.
+	if rawAcc < 0.9 {
+		t.Fatalf("raw closed-set accuracy %.3f too low for a meaningful harness", rawAcc)
+	}
+	if loss := rawAcc - calAcc; loss > 0.02 {
+		t.Errorf("calibration costs %.1f points of closed-set accuracy (%.3f -> %.3f), budget 2",
+			100*loss, rawAcc, calAcc)
+	}
+
+	// Open-set recall on classes the model never trained on.
+	novelRejects := 0
+	for i := range w.novel {
+		if isOpenSetReject(w.clf.Classify(&w.novel[i])) {
+			novelRejects++
+		}
+	}
+	recall := float64(novelRejects) / float64(len(w.novel))
+	if recall < 0.90 {
+		t.Errorf("open-set recall %.3f (%d/%d novel rejected), want >= 0.90",
+			recall, novelRejects, len(w.novel))
+	}
+	if novelRejects < rawNovelRejects {
+		t.Errorf("calibrated path rejects fewer novel samples (%d) than the raw threshold alone (%d)",
+			novelRejects, rawNovelRejects)
+	}
+	t.Logf("open-set recall %.3f (raw path %.3f), closed-set accuracy %.3f -> %.3f",
+		recall, float64(rawNovelRejects)/float64(len(w.novel)), rawAcc, calAcc)
+}
+
+// TestOpenSetCalibrationSurvivesPersistence proves the calibration blob
+// rides the model artifact: a Save/Load round trip yields bit-identical
+// verdicts, so a hot swap from disk installs model and thresholds as
+// one atomic unit.
+func TestOpenSetCalibrationSurvivesPersistence(t *testing.T) {
+	w := buildOpenSetWorld(t, 31)
+	if _, err := w.clf.Calibrate(w.holdout, openset.CalibrateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/model.json"
+	if err := core.SaveFile(path, w.clf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Calibration() == nil {
+		t.Fatal("loaded artifact carries no calibration")
+	}
+	check := append(append([]dataset.Sample{}, w.eval...), w.novel...)
+	for i := range check {
+		want := w.clf.Classify(&check[i])
+		got := loaded.Classify(&check[i])
+		if got.Label != want.Label || got.Verdict != want.Verdict ||
+			got.Confidence != want.Confidence {
+			t.Fatalf("sample %d: loaded model predicts %+v, original %+v", i, got, want)
+		}
+	}
+}
+
+// TestOpenSetCalibrateDeterministic: equal inputs give equal
+// calibrations — promotion on two replicas installs identical floors.
+func TestOpenSetCalibrateDeterministic(t *testing.T) {
+	w := buildOpenSetWorld(t, 7)
+	a, err := w.clf.Calibrate(w.holdout, openset.CalibrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.clf.Calibrate(w.holdout, openset.CalibrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ab) != string(bb) {
+		t.Fatalf("calibration is not deterministic:\n%s\n%s", ab, bb)
+	}
+}

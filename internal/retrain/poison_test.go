@@ -1,0 +1,246 @@
+package retrain
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/openset"
+	"repro/internal/rf"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// poisonOutcome is what one self-training run against novel-class
+// traffic produced.
+type poisonOutcome struct {
+	// wrongHarvests counts Gamma samples the store admitted under a
+	// wrong (Alpha/Beta) self-label.
+	wrongHarvests int
+	// knownHarvests counts genuine Alpha/Beta samples admitted off the
+	// serving stream — the gate must not simply refuse everything.
+	knownHarvests int
+	// promoted reports whether the cycle promoted its candidate.
+	promoted bool
+	// absorbedBefore/absorbedAfter count Gamma eval samples the serving
+	// model labels as a known class with high confidence, before and
+	// after the retraining cycle. Once the poisoned store puts Gamma
+	// digests inside a known class's profile, the retrained model is
+	// near-certain about them.
+	absorbedBefore, absorbedAfter int
+	gammaEval                     int
+}
+
+// runPoisonScenario plays the self-training poisoning tape: a model
+// that knows Alpha and Beta serves traffic containing the novel class
+// Gamma, self-harvests what it serves, retrains and installs the
+// winner. With gates off it reproduces the closed-set failure the
+// open-set layer exists to prevent; with gates on the identical tape
+// must leave the store clean.
+func runPoisonScenario(t *testing.T, gates bool) poisonOutcome {
+	t.Helper()
+	corpus, err := synth.Generate([]synth.ClassSpec{
+		{Name: "Alpha", Samples: 24},
+		{Name: "Beta", Samples: 24},
+		{Name: "Gamma", Samples: 20},
+	}, synth.Options{Seed: 1003})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := dataset.FromCorpus(corpus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic halves per class: one to train/seed the store, one
+	// to serve and evaluate.
+	perClass := map[string]int{}
+	var seedSet, liveSet []dataset.Sample
+	for i := range samples {
+		c := samples[i].Class
+		if perClass[c]%2 == 0 {
+			seedSet = append(seedSet, samples[i])
+		} else {
+			liveSet = append(liveSet, samples[i])
+		}
+		perClass[c]++
+	}
+	var trainSet, calSet []dataset.Sample
+	for i, s := range seedSet {
+		if s.Class == "Gamma" {
+			continue // the incumbent must not know Gamma
+		}
+		if i%4 == 0 {
+			calSet = append(calSet, s) // frozen calibration holdout
+		} else {
+			trainSet = append(trainSet, s)
+		}
+	}
+	cfg := core.Config{Threshold: 0.5, Seed: 11, Forest: rf.Params{NumTrees: 40}}
+	incumbent, err := core.Train(trainSet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gates {
+		if _, err := incumbent.Calibrate(calSet, openset.CalibrateOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	engine := serve.New(incumbent, serve.Options{})
+	defer engine.Close()
+	opt := Options{
+		MinNewSamples: -1, // cycles run only when the test says so
+		MinConfidence: 0.4,
+		Margin:        0.10,
+		Train:         cfg,
+	}
+	if !gates {
+		// The pre-fix configuration: no evidence floor, no calibration —
+		// confidence is the only harvest gate, exactly the closed-set
+		// serving stack this PR replaces.
+		opt.MinEvidence = -1
+	}
+	rt, err := New(engine, incumbent, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Ground truth seeds the store, as an operator would.
+	for i := range trainSet {
+		if !rt.HarvestLabeled(&trainSet[i], trainSet[i].Class) {
+			t.Fatalf("ground-truth sample %d not admitted", i)
+		}
+	}
+
+	var out poisonOutcome
+	confident := func(p core.Prediction) bool {
+		return p.Label != core.UnknownLabel && p.Verdict != openset.VerdictUnknown &&
+			p.Confidence >= 0.9
+	}
+	// Live traffic: the model serves and self-harvests everything.
+	for i := range liveSet {
+		s := liveSet[i]
+		pred := engine.Classify(&s)
+		admitted := rt.ObservePrediction(&s, pred)
+		switch {
+		case s.Class == "Gamma":
+			out.gammaEval++
+			if confident(pred) {
+				out.absorbedBefore++
+			}
+			if admitted {
+				out.wrongHarvests++
+			}
+		case admitted:
+			out.knownHarvests++
+		}
+	}
+
+	res := rt.RunNow("test")
+	if res.Err != "" {
+		t.Fatalf("retraining cycle failed: %s", res.Err)
+	}
+	out.promoted = res.Promoted
+
+	for i := range liveSet {
+		if liveSet[i].Class != "Gamma" {
+			continue
+		}
+		s := liveSet[i]
+		if confident(engine.Classify(&s)) {
+			out.absorbedAfter++
+		}
+	}
+	return out
+}
+
+// TestOpenSetPoisoningRegression reproduces the self-training poisoning
+// failure and proves the harvest filter closes it. Before the fix,
+// confident mislabels of a novel class enter the training store and the
+// retrained model absorbs the class wholesale — serving accuracy on
+// "Gamma must be unknown" traffic drops. After the fix the identical
+// traffic tape leaves the store clean and the model's open-set
+// behaviour intact.
+func TestOpenSetPoisoningRegression(t *testing.T) {
+	before := runPoisonScenario(t, false)
+	t.Logf("gates off: %+v", before)
+	if before.wrongHarvests == 0 {
+		t.Fatal("scenario failed to reproduce poisoning: no Gamma sample was harvested under a wrong label")
+	}
+	if !before.promoted {
+		t.Fatal("scenario failed to reproduce poisoning: the poisoned candidate was not promoted")
+	}
+	if before.absorbedAfter <= before.absorbedBefore {
+		t.Fatalf("poisoned retrain did not degrade open-set behaviour: %d/%d Gamma absorbed before, %d/%d after",
+			before.absorbedBefore, before.gammaEval, before.absorbedAfter, before.gammaEval)
+	}
+
+	after := runPoisonScenario(t, true)
+	t.Logf("gates on: %+v", after)
+	if after.wrongHarvests != 0 {
+		t.Fatalf("harvest filter admitted %d novel-class samples", after.wrongHarvests)
+	}
+	if after.knownHarvests == 0 {
+		t.Fatal("harvest filter refused every known-class sample; the gate is not selective")
+	}
+	if after.absorbedAfter > after.absorbedBefore {
+		t.Fatalf("gated retrain still degraded open-set behaviour: %d -> %d Gamma absorbed",
+			after.absorbedBefore, after.absorbedAfter)
+	}
+}
+
+// TestOpenSetPromotionCarriesCalibration proves a retraining cycle
+// never sheds the abstention policy: when the incumbent is calibrated,
+// the promoted candidate serves with a calibration of its own, tuned on
+// the cycle's frozen holdout.
+func TestOpenSetPromotionCarriesCalibration(t *testing.T) {
+	fixture(t)
+	cal := calibratedIncumbent(t)
+	engine := serve.New(cal, serve.Options{})
+	defer engine.Close()
+	rt, err := New(engine, cal, Options{
+		MinNewSamples: -1,
+		Margin:        0.10,
+		Train:         core.Config{Threshold: 0.5, Seed: 11, Forest: rf.Params{NumTrees: 40}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	fillStore(t, rt)
+
+	res := rt.RunNow("test")
+	if !res.Promoted {
+		t.Fatalf("cycle did not promote: %+v", res)
+	}
+	// Every served prediction now carries a verdict: the promoted
+	// candidate was calibrated before it reached the engine.
+	for i := range fixSamples {
+		s := fixSamples[i]
+		if pred := engine.Classify(&s); pred.Verdict == "" {
+			t.Fatalf("promoted model serves without calibration: %+v", pred)
+		}
+	}
+}
+
+// calibratedIncumbent clones the fixture incumbent and calibrates it on
+// the Gamma-free fixture samples it was trained on (adequate as a
+// calibration population for this test's purposes).
+func calibratedIncumbent(t *testing.T) *core.Classifier {
+	t.Helper()
+	var known []dataset.Sample
+	for i := range fixSamples {
+		if fixSamples[i].Class != "Gamma" {
+			known = append(known, fixSamples[i])
+		}
+	}
+	clf, err := core.Train(known, core.Config{Threshold: 0.5, Seed: 11, Forest: rf.Params{NumTrees: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clf.Calibrate(known, openset.CalibrateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}

@@ -49,6 +49,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/ml"
+	"repro/internal/openset"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/serve"
@@ -85,6 +86,34 @@ type Options struct {
 	// MinConfidence gates self-labelling: ObservePrediction harvests
 	// only predictions at or above this confidence. Default 0.95.
 	MinConfidence float64
+	// MinEvidence gates self-labelling on the open-set evidence
+	// channel: a prediction whose best-class fuzzy-hash evidence
+	// (0–100) falls below this floor is skipped even when its model
+	// confidence clears MinConfidence. This is the closed-set
+	// poisoning fix — a forest (or k=1 nearest-neighbour) can report
+	// full confidence about a binary that resembles nothing it trained
+	// on, and harvesting that guess as ground truth teaches the next
+	// model its mistake. The floor applies whether or not an open-set
+	// calibration is installed; predictions carrying no evidence
+	// channel (Evidence < 0) pass it. Default 25; negative disables.
+	MinEvidence float64
+	// Calibrate retunes each candidate's open-set calibration
+	// (per-class margin and evidence floors plus the drift baseline)
+	// on the cycle's frozen holdout before the promotion gate scores
+	// it, so a promoted artifact always carries thresholds tuned on
+	// data it never trained on. Even when false, a candidate is
+	// calibrated whenever the incumbent carries a calibration —
+	// promotion must never silently shed the abstention policy.
+	Calibrate bool
+	// CalibrateOptions tunes candidate calibration (quantile budget,
+	// per-class minimum). The zero value selects openset defaults.
+	CalibrateOptions openset.CalibrateOptions
+	// Drift, when non-nil, is re-baselined from the newly installed
+	// model's calibration on every install — promotion, manual swap
+	// through InstallIncumbent, rollback — so served traffic is never
+	// tested for drift against a baseline belonging to a model that no
+	// longer serves.
+	Drift *openset.Detector
 	// MinStoreSamples is the smallest store that may trigger a cycle;
 	// below it every trigger records a failure ("insufficient data").
 	// Default 8 (the classifier itself needs two classes and the gate
@@ -125,6 +154,9 @@ func (o Options) withDefaults() Options {
 	if o.MinConfidence == 0 {
 		o.MinConfidence = 0.95
 	}
+	if o.MinEvidence == 0 {
+		o.MinEvidence = 25
+	}
 	if o.MinStoreSamples == 0 {
 		o.MinStoreSamples = 8
 	}
@@ -143,7 +175,7 @@ func (o Options) withDefaults() Options {
 // Result describes one retraining cycle, promoted or not.
 type Result struct {
 	// Trigger is what started the cycle: "samples", "interval", "kick",
-	// "http" or "bench".
+	// "drift", "http" or "bench".
 	Trigger string `json:"trigger"`
 	// Start and DurationSeconds time the cycle (training included).
 	Start           time.Time `json:"start"`
@@ -299,7 +331,7 @@ func (r *Retrainer) registerMetrics() {
 		"Labelled samples admitted to the training store.",
 		func() float64 { return float64(r.harvested.Load()) })
 	reg.CounterFunc("fhc_retrain_harvest_skipped_total",
-		"Offered samples that failed the harvest gate (unknown, low confidence, duplicate).",
+		"Offered samples that failed the harvest gate (unknown or ambiguous verdict, low confidence, weak evidence, duplicate).",
 		func() float64 { return float64(r.skipped.Load()) })
 	reg.GaugeFunc("fhc_retrain_new_samples",
 		"Samples harvested since the last cycle; the sample trigger fires at the configured threshold.",
@@ -372,6 +404,12 @@ func (r *Retrainer) trigger(reason string) {
 // RunNow to block for the result instead.
 func (r *Retrainer) Kick() { r.trigger("kick") }
 
+// KickDrift requests an asynchronous retraining cycle attributed to a
+// population-drift alarm — the hook the drift detector's alarm path
+// calls, so a distribution shift in served traffic refreshes the model
+// without an operator in the loop.
+func (r *Retrainer) KickDrift() { r.trigger("drift") }
+
 // HarvestLabeled admits one sample into the training store under a
 // ground-truth label (an operator confirming what a binary is — the
 // paper's execution-fingerprint dictionary growing by observation).
@@ -383,13 +421,27 @@ func (r *Retrainer) HarvestLabeled(s *dataset.Sample, class string) bool {
 }
 
 // ObservePrediction offers one served prediction for self-labelled
-// harvesting: predictions labelled unknown or below MinConfidence are
-// skipped — a sample the model cannot confidently name is exactly the
-// sample self-training must not learn from — and a self-label never
-// overrides content the store already holds. The serving layers call
-// this on their classify paths.
+// harvesting behind three gates: predictions labelled unknown or below
+// MinConfidence are skipped — a sample the model cannot confidently
+// name is exactly the sample self-training must not learn from; a
+// calibrated verdict other than "class" is skipped — unknown is the
+// open-set harvest filter and ambiguous means two classes compete for
+// the label; and a best-class evidence below MinEvidence is skipped
+// even with no calibration installed, because model confidence alone
+// cannot distinguish "resembles class X" from "resembles nothing" (the
+// closed-set poisoning fix). A self-label never overrides content the
+// store already holds. The serving layers call this on their classify
+// paths.
 func (r *Retrainer) ObservePrediction(s *dataset.Sample, pred core.Prediction) bool {
 	if pred.Label == unknownLabel || pred.Confidence < r.opt.MinConfidence {
+		r.skipped.Add(1)
+		return false
+	}
+	if pred.Verdict != "" && pred.Verdict != openset.VerdictClass {
+		r.skipped.Add(1)
+		return false
+	}
+	if r.opt.MinEvidence > 0 && pred.Evidence >= 0 && pred.Evidence < r.opt.MinEvidence {
 		r.skipped.Add(1)
 		return false
 	}
@@ -453,6 +505,15 @@ func (r *Retrainer) install(clf *core.Classifier) {
 	r.installMu.Lock()
 	defer r.installMu.Unlock()
 	r.engine.Swap(clf)
+	if d := r.opt.Drift; d != nil {
+		// The new model's calibration carries its own drift baseline;
+		// resetting the detector here (inside installMu, right after the
+		// swap) means traffic served by the new model is never tested
+		// against the old model's expected distribution.
+		if cal := clf.Calibration(); cal != nil {
+			d.SetBaseline(cal.Baseline)
+		}
+	}
 	r.mu.Lock()
 	r.incumbent = clf
 	r.mu.Unlock()
@@ -568,6 +629,19 @@ func (r *Retrainer) RunNow(trigger string) Result {
 		return fail("training candidate: %v", err)
 	}
 	res.Classes = candidate.Classes()
+
+	// Tune the candidate's open-set calibration on the frozen holdout
+	// before the gate scores it: the promoted artifact then carries
+	// abstention thresholds (and the drift baseline) measured on data
+	// the candidate never trained on, and the gate's comparison already
+	// prices in any accuracy the abstention budget costs. A candidate
+	// is always calibrated when the incumbent is — promotion must never
+	// silently shed the policy.
+	if (r.opt.Calibrate || incumbent.Calibration() != nil) && candidate.Calibration() == nil {
+		if _, err := candidate.Calibrate(holdout, r.opt.CalibrateOptions); err != nil {
+			return fail("calibrating candidate: %v", err)
+		}
+	}
 
 	// Score both models on the same frozen holdout, concurrently — the
 	// cycle runs off the serving hot path, so this parallelism competes

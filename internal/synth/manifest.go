@@ -18,6 +18,8 @@
 // over corpus samples relies on that).
 package synth
 
+import "fmt"
+
 // ClassSpec declares one application class to generate.
 type ClassSpec struct {
 	// Name is the class label, e.g. "Velvet".
@@ -297,4 +299,35 @@ func TotalSamples(specs []ClassSpec) int {
 		total += v * e
 	}
 	return total
+}
+
+// OpenSetManifest returns a manifest purpose-built for open-set
+// evaluation: nKnown known classes the model trains on and nNovel
+// novel classes marked Unknown that stand in for applications the
+// deployment has never seen. Every class gets its own genome — unlike
+// PaperManifest there are no shared-genome pairs — so a novel class is
+// genuinely disjoint from every known one (independent symbol, string
+// and tool-name pools) and open-set recall measures recognition of new
+// software, not relabelling of old software. perClass fixes the sample
+// count of every class; values below 3 are raised to 3 so each class
+// spans at least one version chain.
+func OpenSetManifest(nKnown, nNovel, perClass int) []ClassSpec {
+	if perClass < 3 {
+		perClass = 3
+	}
+	specs := make([]ClassSpec, 0, nKnown+nNovel)
+	for i := 0; i < nKnown; i++ {
+		specs = append(specs, ClassSpec{
+			Name:    fmt.Sprintf("Known%02d", i),
+			Samples: perClass,
+		})
+	}
+	for i := 0; i < nNovel; i++ {
+		specs = append(specs, ClassSpec{
+			Name:    fmt.Sprintf("Novel%02d", i),
+			Samples: perClass,
+			Unknown: true,
+		})
+	}
+	return specs
 }
